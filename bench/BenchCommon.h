@@ -1,0 +1,96 @@
+//===- bench/BenchCommon.h - shared benchmark harness -----------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the experiment reproducers: compile a workload at a
+/// problem size under one placement strategy, lower it, and simulate it on a
+/// machine profile; print Figure 10 style panels (three bars per size,
+/// normalized to "orig", dark segment = network cost).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_BENCH_BENCHCOMMON_H
+#define GCA_BENCH_BENCHCOMMON_H
+
+#include "driver/Compile.h"
+#include "lower/Schedule.h"
+#include "runtime/Simulate.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gca {
+namespace bench {
+
+struct RunResult {
+  SimResult Sim;
+  int NncSites = 0;
+  int SumSites = 0;
+};
+
+/// Compiles every routine of \p W at size \p N and simulates one execution
+/// on \p M with \p P processors; results accumulate over routines.
+inline RunResult runWorkload(const Workload &W, Strategy S, int64_t N,
+                             int64_t Steps, const MachineProfile &M, int P) {
+  CompileOptions Opts;
+  Opts.Placement.Strat = S;
+  Opts.Placement.NumProcs = P;
+  Opts.Params["n"] = N;
+  Opts.Params["nsteps"] = Steps;
+  CompileResult R = compileSource(W.Source, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "compile failed for %s:\n%s\n", W.Name.c_str(),
+                 R.Errors.c_str());
+    std::exit(1);
+  }
+  RunResult Out;
+  for (const RoutineResult &RR : R.Routines) {
+    ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+    SimResult Sim = simulate(*RR.Ctx, RR.Plan, Prog, M, P);
+    Out.Sim.TotalTime += Sim.TotalTime;
+    Out.Sim.CommTime += Sim.CommTime;
+    Out.Sim.ComputeTime += Sim.ComputeTime;
+    Out.Sim.CommBytes += Sim.CommBytes;
+    Out.Sim.CommOps += Sim.CommOps;
+    Out.NncSites += RR.Plan.Stats.groups(CommKind::Shift);
+    Out.SumSites += RR.Plan.Stats.groups(CommKind::Reduce);
+  }
+  return Out;
+}
+
+/// Prints one Figure 10 panel: rows are problem sizes, columns are the
+/// three code versions with normalized running time and network fraction.
+inline void printPanel(const char *Title, const Workload &W,
+                       const MachineProfile &M, int P,
+                       const std::vector<int64_t> &Sizes, int64_t Steps) {
+  std::printf("%s  (P=%d, machine=%s, %lld steps)\n", Title, P,
+              M.Name.c_str(), static_cast<long long>(Steps));
+  std::printf("%6s | %22s | %22s | %22s\n", "n", "orig", "nored (+redund)",
+              "comb (+combine)");
+  std::printf("%6s | %10s %11s | %10s %11s | %10s %11s\n", "", "norm",
+              "net-frac", "norm", "net-frac", "norm", "net-frac");
+  for (int64_t N : Sizes) {
+    RunResult O = runWorkload(W, Strategy::Orig, N, Steps, M, P);
+    RunResult R = runWorkload(W, Strategy::Earliest, N, Steps, M, P);
+    RunResult C = runWorkload(W, Strategy::Global, N, Steps, M, P);
+    double Base = O.Sim.TotalTime;
+    std::printf("%6lld | %10.3f %10.1f%% | %10.3f %10.1f%% | %10.3f "
+                "%10.1f%%\n",
+                static_cast<long long>(N), 1.0,
+                100.0 * O.Sim.commFraction(),
+                R.Sim.TotalTime / Base, 100.0 * R.Sim.commFraction(),
+                C.Sim.TotalTime / Base, 100.0 * C.Sim.commFraction());
+  }
+  std::printf("\n");
+}
+
+} // namespace bench
+} // namespace gca
+
+#endif // GCA_BENCH_BENCHCOMMON_H

@@ -1,0 +1,74 @@
+//===- bench/bench_ablation_combine_threshold.cpp - Section 4.7 / 3 -------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 4.7: "The combined data size ... must be below a threshold (based
+// on our study reported in Section 3, currently set to 20 KB for SP2),
+// beyond which combining messages leads to diminishing returns or even
+// worse performance." This ablation sweeps the threshold on shallow and
+// hydflo and reports call sites and simulated communication time, plus the
+// diagonal-subsumption ablation (message coalescing of Section 2.2 off).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace gca;
+using namespace gca::bench;
+
+static RunResult runWith(const Workload &W, int64_t N,
+                         const PlacementOptions &P, const MachineProfile &M,
+                         int Procs) {
+  CompileOptions Opts;
+  Opts.Placement = P;
+  Opts.Params["n"] = N;
+  Opts.Params["nsteps"] = 5;
+  CompileResult R = compileSource(W.Source, Opts);
+  if (!R.Ok)
+    std::exit(1);
+  RunResult Out;
+  for (const RoutineResult &RR : R.Routines) {
+    ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+    SimResult Sim = simulate(*RR.Ctx, RR.Plan, Prog, M, Procs);
+    Out.Sim.TotalTime += Sim.TotalTime;
+    Out.Sim.CommTime += Sim.CommTime;
+    Out.NncSites += RR.Plan.Stats.groups(CommKind::Shift);
+    Out.SumSites += RR.Plan.Stats.groups(CommKind::Reduce);
+  }
+  return Out;
+}
+
+int main() {
+  MachineProfile M = MachineProfile::sp2();
+  std::printf("E14 / Sections 3+4.7: combining-threshold sweep (SP2, "
+              "P=25)\n\n");
+  for (const Workload *W : {&shallowWorkload(), &hydfloWorkload()}) {
+    std::printf("%s (n=64):\n", W->Name.c_str());
+    std::printf("%12s | %9s | %12s\n", "threshold", "NNC sites",
+                "comm time");
+    for (int64_t KB : {1, 4, 20, 1024}) {
+      PlacementOptions P;
+      P.Strat = Strategy::Global;
+      P.CombineThresholdBytes = KB * 1024;
+      P.NumProcs = 25;
+      RunResult R = runWith(*W, 64, P, M, 25);
+      std::printf("%9lld KB | %9d | %9.3f ms\n", static_cast<long long>(KB),
+                  R.NncSites, R.Sim.CommTime * 1e3);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Diagonal subsumption ablation (Section 2.2, shallow n=64):\n");
+  for (bool Subsume : {true, false}) {
+    PlacementOptions P;
+    P.Strat = Strategy::Global;
+    P.SubsumeDiagonals = Subsume;
+    RunResult R = runWith(shallowWorkload(), 64, P, M, 25);
+    std::printf("  subsume=%-5s NNC sites=%2d comm=%.3f ms\n",
+                Subsume ? "on" : "off", R.NncSites, R.Sim.CommTime * 1e3);
+  }
+  return 0;
+}

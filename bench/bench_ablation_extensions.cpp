@@ -1,0 +1,87 @@
+//===- bench/bench_ablation_extensions.cpp - Section 6 extensions ---------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the two extensions the paper sketches:
+//
+//  - Deferred reduction placement (Section 6.2, "left for future work"):
+//    with the reversed analysis, reductions computed at different points
+//    combine at their common consumer. On gravity this turns the paper's
+//    "two parallel sets of four global sums" into ONE combined operation.
+//
+//  - Loop fusion before the analysis (Section 2.3): repairs the syntax
+//    sensitivity of earliest placement + combining on Figure 3's F90 form,
+//    but leaves the evaluation workloads unchanged (their cross-nest value
+//    flows block fusion) — "this is not always possible".
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace gca;
+using namespace gca::bench;
+
+static RunResult runOpts(const Workload &W, const CompileOptions &Base,
+                         const MachineProfile &M, int P) {
+  CompileOptions Opts = Base;
+  Opts.Params["n"] = 64;
+  Opts.Params["nsteps"] = 5;
+  CompileResult R = compileSource(W.Source, Opts);
+  if (!R.Ok)
+    std::exit(1);
+  RunResult Out;
+  for (const RoutineResult &RR : R.Routines) {
+    ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+    SimResult Sim = simulate(*RR.Ctx, RR.Plan, Prog, M, P);
+    Out.Sim.CommTime += Sim.CommTime;
+    Out.Sim.TotalTime += Sim.TotalTime;
+    Out.NncSites += RR.Plan.Stats.groups(CommKind::Shift);
+    Out.SumSites += RR.Plan.Stats.groups(CommKind::Reduce);
+  }
+  return Out;
+}
+
+int main() {
+  MachineProfile M = MachineProfile::sp2();
+  std::printf("E15 / Section 6 extensions (SP2, P=25, n=64)\n\n");
+
+  std::printf("Deferred reduction placement (Section 6.2):\n");
+  std::printf("%-9s | %9s | %9s | %12s | %12s\n", "workload", "SUM off",
+              "SUM on", "comm off", "comm on");
+  for (const Workload *W : evaluationWorkloads()) {
+    CompileOptions Off, On;
+    On.Placement.DeferReductions = true;
+    RunResult A = runOpts(*W, Off, M, 25);
+    RunResult B = runOpts(*W, On, M, 25);
+    std::printf("%-9s | %9d | %9d | %9.3f ms | %9.3f ms\n", W->Name.c_str(),
+                A.SumSites, B.SumSites, A.Sim.CommTime * 1e3,
+                B.Sim.CommTime * 1e3);
+  }
+
+  std::printf("\nLoop fusion before the analysis (Section 2.3):\n");
+  std::printf("%-9s | %12s | %12s   (global algorithm NNC sites)\n",
+              "workload", "fusion off", "fusion on");
+  for (const Workload *W : evaluationWorkloads()) {
+    CompileOptions Off, On;
+    On.FuseLoops = true;
+    RunResult A = runOpts(*W, Off, M, 25);
+    RunResult B = runOpts(*W, On, M, 25);
+    std::printf("%-9s | %12d | %12d\n", W->Name.c_str(), A.NncSites,
+                B.NncSites);
+  }
+  {
+    // Figure 3 under the syntax-sensitive strawman, with and without fusion.
+    CompileOptions EC, ECF;
+    EC.Placement.Strat = ECF.Placement.Strat = Strategy::EarliestCombine;
+    ECF.FuseLoops = true;
+    RunResult A = runOpts(figure3FusedWorkload(), EC, M, 25);
+    RunResult B = runOpts(figure3FusedWorkload(), ECF, M, 25);
+    std::printf("\nFigure 3 F90 form under earliest+combining: %d site(s) "
+                "without fusion, %d with (the Section 2.3 repair)\n",
+                A.NncSites, B.NncSites);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- bench/bench_compile_time.cpp - pipeline microbenchmarks ------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark timings of the compiler pipeline itself: parsing,
+// scalarization, analysis-context construction (CFG/dominators/SSA), and
+// each placement strategy, on the largest evaluation workload (shallow).
+// The paper's analysis runs inside a production compiler; this tracks that
+// the reproduction stays interactive-speed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compile.h"
+#include "workloads/Workloads.h"
+#include "xform/Scalarize.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gca;
+
+static void BM_Parse(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagEngine D;
+    auto P = parseProgram(shallowWorkload().Source, D);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_Parse);
+
+static void BM_Scalarize(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    DiagEngine D;
+    auto P = parseProgram(shallowWorkload().Source, D);
+    State.ResumeTiming();
+    scalarizeProgram(*P, D);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_Scalarize);
+
+static void BM_AnalysisContext(benchmark::State &State) {
+  DiagEngine D;
+  auto P = parseProgram(shallowWorkload().Source, D);
+  scalarizeProgram(*P, D);
+  for (auto _ : State) {
+    AnalysisContext Ctx(*P->Routines[0]);
+    benchmark::DoNotOptimize(&Ctx);
+  }
+}
+BENCHMARK(BM_AnalysisContext);
+
+static void BM_Strategy(benchmark::State &State) {
+  Strategy S = static_cast<Strategy>(State.range(0));
+  DiagEngine D;
+  auto P = parseProgram(shallowWorkload().Source, D);
+  scalarizeProgram(*P, D);
+  AnalysisContext Ctx(*P->Routines[0]);
+  PlacementOptions Opts;
+  Opts.Strat = S;
+  for (auto _ : State) {
+    CommPlan Plan = planCommunication(Ctx, Opts);
+    benchmark::DoNotOptimize(&Plan);
+  }
+}
+BENCHMARK(BM_Strategy)
+    ->Arg(static_cast<int>(Strategy::Orig))
+    ->Arg(static_cast<int>(Strategy::Earliest))
+    ->Arg(static_cast<int>(Strategy::Global));
+
+static void BM_FullPipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    CompileOptions Opts;
+    Opts.Params["n"] = 64;
+    CompileResult R = compileSource(shallowWorkload().Source, Opts);
+    benchmark::DoNotOptimize(&R);
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+BENCHMARK_MAIN();

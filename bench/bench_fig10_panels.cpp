@@ -1,0 +1,55 @@
+//===- bench/bench_fig10_panels.cpp - Figure 10 (a)-(f) charts ------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// One binary per panel would re-run identical plumbing six times; this
+// binary takes the panel name as argv[1] (the bench/ CMake registers six
+// wrapper targets) and with no argument prints all panels:
+//
+//   (a) SP2 shallow  P=25   (b) SP2 gravity P=25   (c) NOW shallow P=8
+//   (d) NOW gravity  P=8    (e) SP2 hydflo  P=25   (f) NOW trimesh P=8
+//
+// Each row: problem size; each version: running time normalized to "orig"
+// and the network fraction of its own time (the paper's dark bar segment).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstring>
+
+using namespace gca;
+using namespace gca::bench;
+
+int main(int argc, char **argv) {
+  const char *Panel = argc > 1 ? argv[1] : "all";
+  auto Want = [&](const char *P) {
+    return std::strcmp(Panel, "all") == 0 || std::strcmp(Panel, P) == 0;
+  };
+  MachineProfile Sp2 = MachineProfile::sp2();
+  MachineProfile Now = MachineProfile::now();
+
+  if (Want("a"))
+    printPanel("E3 / Figure 10(a): shallow on the SP2", shallowWorkload(),
+               Sp2, 25, {100, 125, 150, 175, 200, 225, 250, 275}, 50);
+  if (Want("b"))
+    printPanel("E4 / Figure 10(b): gravity on the SP2", gravityWorkload(),
+               Sp2, 25, {100, 125, 150, 175, 200, 225, 250, 275, 300, 325},
+               50);
+  if (Want("c"))
+    printPanel("E5 / Figure 10(c): shallow on the NOW", shallowWorkload(),
+               Now, 8, {400, 450, 500}, 20);
+  if (Want("d"))
+    printPanel("E6 / Figure 10(d): gravity on the NOW", gravityWorkload(),
+               Now, 8, {100, 124, 150, 174, 200, 224, 250, 274}, 5);
+  if (Want("e"))
+    printPanel("E7 / Figure 10(e): hydflo on the SP2", hydfloWorkload(),
+               Sp2, 25, {28, 32, 40, 48, 56, 64}, 5);
+  if (Want("f"))
+    printPanel("E8 / Figure 10(f): trimesh on the NOW", trimeshWorkload(),
+               Now, 8, {192, 256, 320}, 5);
+  return 0;
+}

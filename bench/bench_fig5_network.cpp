@@ -1,0 +1,50 @@
+//===- bench/bench_fig5_network.cpp - Figure 5 reproduction ---------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 5: "Buffer copying and network bandwidth studies on the IBM SP2
+// using MPL and the Berkeley NOW using MPICH. The x-axis is to a log scale."
+// Prints, per machine, the three curves the paper plots: bcopy bandwidth vs
+// buffer size, sender injection bandwidth, and receiver-observed network
+// bandwidth vs message size. The qualitative features to check against the
+// paper: startup amortization completes well below the cache limit, bcopy
+// has a visible cache knee, and beyond the cache bcopy is barely twice the
+// message bandwidth on the SP2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+#include "support/StrUtil.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace gca;
+
+static void printCurves(const MachineProfile &M) {
+  std::printf("=== %s: bandwidth vs size (Figure 5) ===\n", M.Name.c_str());
+  std::printf("%10s %14s %14s %14s\n", "bytes", "bcopy MB/s", "inject MB/s",
+              "recv MB/s");
+  for (double S = 64; S <= 8 * 1024 * 1024; S *= 4) {
+    std::printf("%10s %14.1f %14.1f %14.1f\n", formatBytes(S).c_str(),
+                M.bcopyBandwidth(S) / 1e6, M.injectBandwidth(S) / 1e6,
+                M.netBandwidth(S) / 1e6);
+  }
+  double Half = 8;
+  while (M.netBandwidth(Half) < 0.5 * M.PeakBandwidth)
+    Half *= 2;
+  std::printf("half-peak message size: %s (cache limit: %s)\n",
+              formatBytes(Half).c_str(), formatBytes(M.CacheBytes).c_str());
+  std::printf("beyond-cache bcopy / message bandwidth: %.2fx\n\n",
+              M.bcopyBandwidth(8e6) / M.netBandwidth(8e6));
+}
+
+int main() {
+  std::printf("E1: Figure 5 network/bcopy profiling curves\n\n");
+  printCurves(MachineProfile::sp2());
+  printCurves(MachineProfile::now());
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- bench/bench_table_static_counts.cpp - Figure 10 table --------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// The compile-time table of Figure 10: static call sites to the
+// communication library per benchmark routine, for the three code versions
+// ("orig", "+Redundancy elimination", "+Combined messages"). Prints the
+// paper's reported values next to the measured ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compile.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace gca;
+
+int main() {
+  std::printf("E2: Figure 10 static message counts (paper vs measured)\n\n");
+  std::printf("%-9s %-9s %-5s | %-17s | %-17s\n", "bench", "routine", "type",
+              "paper o/n/c", "measured o/n/c");
+  int Mismatches = 0;
+  for (const Workload *W : evaluationWorkloads()) {
+    CompileResult Res[3];
+    Strategy Strats[3] = {Strategy::Orig, Strategy::Earliest,
+                          Strategy::Global};
+    for (int S = 0; S != 3; ++S) {
+      CompileOptions Opts;
+      Opts.Placement.Strat = Strats[S];
+      Opts.Params["n"] = 16;
+      Opts.Params["nsteps"] = 2;
+      Res[S] = compileSource(W->Source, Opts);
+      if (!Res[S].Ok) {
+        std::fprintf(stderr, "compile failed: %s\n", Res[S].Errors.c_str());
+        return 1;
+      }
+    }
+    for (const ExpectedCounts &E : W->Expected) {
+      CommKind K = E.Kind == "SUM" ? CommKind::Reduce : CommKind::Shift;
+      int Got[3];
+      for (int S = 0; S != 3; ++S)
+        Got[S] = Res[S].find(E.Routine)->Plan.Stats.groups(K);
+      bool Ok = Got[0] == E.Orig && Got[1] == E.Nored && Got[2] == E.Comb;
+      Mismatches += !Ok;
+      std::printf("%-9s %-9s %-5s | %5d %5d %5d | %5d %5d %5d %s\n",
+                  W->Name.c_str(), E.Routine.c_str(), E.Kind.c_str(),
+                  E.Orig, E.Nored, E.Comb, Got[0], Got[1], Got[2],
+                  Ok ? "" : "  <-- MISMATCH");
+    }
+  }
+  std::printf("\nmax reduction factor (hydflo gauss): 52/6 = %.1fx "
+              "(paper: \"up to a factor of almost nine\")\n",
+              52.0 / 6.0);
+  return Mismatches != 0;
+}

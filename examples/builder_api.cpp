@@ -1,0 +1,84 @@
+//===- examples/builder_api.cpp - programmatic IR construction ------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// Builds the paper's Figure 4 running example directly through the
+// RoutineBuilder API (no text frontend), then walks the analysis results:
+// per-entry Earliest/Latest points, candidate counts, eliminations, and the
+// final combined groups. This is the API a compiler frontend would target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Placement.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "xform/Scalarize.h"
+
+#include <cstdio>
+
+using namespace gca;
+
+int main() {
+  // distribute a, b, c, d :: (BLOCK,*) over n x n.
+  constexpr int64_t N = 16;
+  Routine R("figure4");
+  RoutineBuilder B(R);
+  for (const char *Name : {"a", "b", "c", "d"})
+    B.array(Name, {N, N}, {DistKind::Block, DistKind::Star});
+
+  // b(:,1:n:2) = 1 ; b(:,2:n:2) = 2
+  B.assignLit(B.refs("b", {B.fullDim("b", 0),
+                           Subscript::range(B.c(1), B.c(N), 2)}),
+              1.0);
+  B.assignLit(B.refs("b", {B.fullDim("b", 0),
+                           Subscript::range(B.c(2), B.c(N), 2)}),
+              2.0);
+
+  // if (cond) a = 3 else a = d.
+  B.beginIf("cond");
+  B.assignLit(B.whole("a"), 3.0);
+  B.beginElse();
+  B.assign(B.whole("a"), {B.whole("d")});
+  B.endIf();
+
+  // do i = 2,n { do j = 1,n,2 {...}; do j = 1,n {...} }.
+  B.beginLoop("i", B.c(2), B.c(N));
+  B.beginLoop("j", B.c(1), B.c(N), 2);
+  B.assign(B.ref("c", {B.v("i"), B.v("j")}),
+           {B.ref("a", {B.v("i") - 1, B.v("j")}),
+            B.ref("b", {B.v("i") - 1, B.v("j")})});
+  B.endLoop();
+  B.beginLoop("j", B.c(1), B.c(N));
+  B.assign(B.ref("c", {B.v("i"), B.v("j")}),
+           {B.ref("a", {B.v("i") - 1, B.v("j")}),
+            B.ref("b", {B.v("i") - 1, B.v("j")})});
+  B.endLoop();
+  B.endLoop();
+
+  std::printf("== built routine ==\n%s\n", printRoutine(R).c_str());
+
+  // The pHPF-style pipeline: scalarize, analyze, place globally.
+  DiagEngine Diags;
+  scalarizeRoutine(R, Diags);
+  AnalysisContext Ctx(R);
+  PlacementOptions Opts; // Defaults: the paper's global algorithm.
+  CommPlan Plan = planCommunication(Ctx, Opts);
+
+  std::printf("== per-entry analysis ==\n");
+  for (const CommEntry &E : Plan.Entries) {
+    std::printf("entry %d: %s %s  earliest=(B%d,%d) latest=(B%d,%d) "
+                "candidates=%zu%s\n",
+                E.Id, R.array(E.ArrayId).Name.c_str(), E.M.str().c_str(),
+                E.EarliestSlot.Node, E.EarliestSlot.Index, E.LatestSlot.Node,
+                E.LatestSlot.Index, E.OriginalCandidates.size(),
+                E.Eliminated ? "  [eliminated: fully redundant]" : "");
+  }
+
+  std::printf("\n== final plan ==\n%s", Plan.str(R).c_str());
+  std::printf("\nThe paper's result: one combined NNC carrying both a and "
+              "b, with the first-loop entries eliminated.\n");
+  return 0;
+}

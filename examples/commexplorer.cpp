@@ -1,0 +1,96 @@
+//===- examples/commexplorer.cpp - HPF-lite analysis CLI ------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// A command-line explorer for the communication analysis: reads an HPF-lite
+// program from a file (or runs the built-in shallow benchmark), and prints,
+// per routine and strategy, the static message table, the verified
+// schedule, and the simulated cost on both machine profiles.
+//
+//   $ ./commexplorer                   # built-in shallow
+//   $ ./commexplorer prog.hpf          # your program
+//   $ ./commexplorer prog.hpf 128      # ... with n = 128
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compile.h"
+#include "lower/Schedule.h"
+#include "runtime/Simulate.h"
+#include "runtime/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace gca;
+
+int main(int argc, char **argv) {
+  std::string Source;
+  if (argc > 1) {
+    std::ifstream In(argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  } else {
+    std::printf("(no input file: analyzing the built-in shallow "
+                "benchmark)\n\n");
+    Source = shallowWorkload().Source;
+  }
+
+  ParamMap Params;
+  if (argc > 2)
+    Params["n"] = std::strtoll(argv[2], nullptr, 10);
+
+  for (Strategy S : {Strategy::Orig, Strategy::Earliest, Strategy::Global}) {
+    CompileOptions Opts;
+    Opts.Placement.Strat = S;
+    Opts.Params = Params;
+    CompileResult R = compileSource(Source, Opts);
+    if (!R.Ok) {
+      std::fprintf(stderr, "compile errors:\n%s", R.Errors.c_str());
+      return 1;
+    }
+    std::printf("==== strategy: %s ====\n", strategyName(S));
+    for (const RoutineResult &RR : R.Routines) {
+      const CommStats &St = RR.Plan.Stats;
+      std::printf("routine %-10s NNC=%d SUM=%d BCAST=%d GEN=%d "
+                  "(entries=%d, eliminated=%d)\n",
+                  RR.R->name().c_str(), St.groups(CommKind::Shift),
+                  St.groups(CommKind::Reduce), St.groups(CommKind::Bcast),
+                  St.groups(CommKind::General), St.NumEntries,
+                  St.NumEliminated);
+      ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+      for (const MachineProfile &M :
+           {MachineProfile::sp2(), MachineProfile::now()}) {
+        int P = M.Name == "SP2" ? 25 : 8;
+        SimResult Sim = simulate(*RR.Ctx, RR.Plan, Prog, M, P);
+        std::printf("  %-4s P=%-3d total=%9.3f ms  network=%9.3f ms "
+                    "(%4.1f%%)\n",
+                    M.Name.c_str(), P, Sim.TotalTime * 1e3,
+                    Sim.CommTime * 1e3, 100.0 * Sim.commFraction());
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Print the global schedule and its verification for the first routine.
+  CompileOptions Opts;
+  Opts.Params = Params;
+  CompileResult R = compileSource(Source, Opts);
+  const RoutineResult &RR = R.Routines[0];
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
+  std::printf("==== schedule (comb), routine %s ====\n%s\n%s",
+              RR.R->name().c_str(),
+              Prog.listing(*RR.Ctx, RR.Plan).c_str(), V.str().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- examples/quickstart.cpp - five-minute tour -------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: compile a small HPF-lite program, compare the three placement
+// strategies of the paper's evaluation, print the generated communication
+// schedule, verify it, and simulate it on the SP2 profile.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compile.h"
+#include "lower/Schedule.h"
+#include "runtime/Simulate.h"
+#include "runtime/Verify.h"
+
+#include <cstdio>
+
+using namespace gca;
+
+// A coupled two-field relaxation: both (BLOCK,BLOCK) fields are read with
+// four-point stencils every timestep, so every iteration needs
+// nearest-neighbour communication for u and for v in all four directions —
+// eight messages naively, four once the global algorithm combines the two
+// fields per direction.
+static const char *Source = R"(
+program coupled
+param n = 64
+param nsteps = 10
+real u(n,n) distribute (block,block)
+real v(n,n) distribute (block,block)
+real unew(n,n) distribute (block,block)
+real vnew(n,n) distribute (block,block)
+begin
+  u = 1
+  v = 1
+  unew = 0
+  vnew = 0
+  do t = 1, nsteps
+    unew(2:n-1,2:n-1) = u(1:n-2,2:n-1) + u(3:n,2:n-1) + u(2:n-1,1:n-2) + u(2:n-1,3:n) + v(2:n-1,2:n-1)
+    vnew(2:n-1,2:n-1) = v(1:n-2,2:n-1) + v(3:n,2:n-1) + v(2:n-1,1:n-2) + v(2:n-1,3:n) + u(2:n-1,2:n-1)
+    u(1:n,1:n) = unew(1:n,1:n)
+    v(1:n,1:n) = vnew(1:n,1:n)
+  end do
+end
+)";
+
+int main() {
+  std::printf("== gcomm quickstart: global communication placement ==\n\n");
+
+  for (Strategy S : {Strategy::Orig, Strategy::Earliest, Strategy::Global}) {
+    CompileOptions Opts;
+    Opts.Placement.Strat = S;
+    CompileResult R = compileSource(Source, Opts);
+    if (!R.Ok) {
+      std::fprintf(stderr, "compile error:\n%s", R.Errors.c_str());
+      return 1;
+    }
+    const RoutineResult &RR = R.Routines[0];
+
+    // Lower to an executable schedule and check it end to end: every remote
+    // element must be delivered after its last write (Claim 4.7).
+    ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+    VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
+
+    // Simulate one run on the paper's SP2 profile with 25 processors.
+    SimResult Sim = simulate(*RR.Ctx, RR.Plan, Prog, MachineProfile::sp2(),
+                             25);
+
+    std::printf("strategy %-9s: %d call sites, verify %s, total %.2f ms "
+                "(%.0f%% network)\n",
+                strategyName(S), RR.Plan.Stats.totalGroups(),
+                V.Ok ? "OK" : "FAILED", Sim.TotalTime * 1e3,
+                100.0 * Sim.commFraction());
+  }
+
+  // Show the schedule the global algorithm generates.
+  CompileOptions Opts;
+  CompileResult R = compileSource(Source, Opts);
+  const RoutineResult &RR = R.Routines[0];
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  std::printf("\ngenerated schedule (COMM lines are aggregate exchanges):\n\n");
+  std::printf("%s", Prog.listing(*RR.Ctx, RR.Plan).c_str());
+  return 0;
+}

@@ -1,0 +1,237 @@
+//===- cfg/Cfg.cpp - Augmented control flow graph -------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace gca;
+
+const char *gca::nodeKindName(NodeKind Kind) {
+  switch (Kind) {
+  case NodeKind::Entry:
+    return "entry";
+  case NodeKind::Exit:
+    return "exit";
+  case NodeKind::Plain:
+    return "plain";
+  case NodeKind::Preheader:
+    return "preheader";
+  case NodeKind::Header:
+    return "header";
+  case NodeKind::Postexit:
+    return "postexit";
+  }
+  return "?";
+}
+
+namespace gca {
+
+class CfgBuilder {
+public:
+  explicit CfgBuilder(const Routine &R) { G.R = &R; }
+
+  Cfg take() { return std::move(G); }
+
+  void run() {
+    const Routine &R = *G.R;
+    unsigned NumStmts = R.numStmts();
+    G.StmtNode.assign(NumStmts, -1);
+    G.StmtIndex.assign(NumStmts, -1);
+    G.StmtPreorder.assign(NumStmts, -1);
+    G.StmtLoopNest.assign(NumStmts, {});
+    G.StmtAux.assign(NumStmts, -1);
+
+    G.Entry = newNode(NodeKind::Entry);
+    Cur = G.Entry;
+    buildList(R.body());
+    G.Exit = newNode(NodeKind::Exit);
+    addEdge(Cur, G.Exit);
+  }
+
+private:
+  int newNode(NodeKind Kind) {
+    CfgNode N;
+    N.Id = static_cast<int>(G.Nodes.size());
+    N.Kind = Kind;
+    N.LoopId = LoopStack.empty() ? -1 : LoopStack.back();
+    G.Nodes.push_back(std::move(N));
+    return G.Nodes.back().Id;
+  }
+
+  void addEdge(int From, int To) {
+    G.Nodes[From].Succs.push_back(To);
+    G.Nodes[To].Preds.push_back(From);
+  }
+
+  /// Opens a fresh Plain node as the current insertion block, linked from
+  /// \p From.
+  int freshBlockAfter(int From) {
+    int N = newNode(NodeKind::Plain);
+    addEdge(From, N);
+    return N;
+  }
+
+  void buildList(const std::vector<Stmt *> &List) {
+    for (const Stmt *S : List)
+      buildStmt(S);
+  }
+
+  void buildStmt(const Stmt *S) {
+    G.StmtPreorder[S->id()] = NextPreorder++;
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      CfgNode &N = G.Nodes[Cur];
+      G.StmtNode[A->id()] = Cur;
+      G.StmtIndex[A->id()] = static_cast<int>(N.Stmts.size());
+      for (int LId : LoopStack)
+        G.StmtLoopNest[A->id()].push_back(LId);
+      N.Stmts.push_back(A);
+      break;
+    }
+    case StmtKind::Loop: {
+      const auto *L = cast<LoopStmt>(S);
+      // Preheader and postexit live in the *enclosing* loop.
+      int Pre = newNode(NodeKind::Preheader);
+      addEdge(Cur, Pre);
+
+      CfgLoop Loop;
+      Loop.Id = static_cast<int>(G.Loops.size());
+      Loop.Parent = LoopStack.empty() ? -1 : LoopStack.back();
+      Loop.Level = static_cast<int>(LoopStack.size()) + 1;
+      Loop.L = L;
+      Loop.Preheader = Pre;
+      G.Loops.push_back(Loop);
+      int LoopId = Loop.Id;
+      G.StmtAux[L->id()] = LoopId;
+
+      LoopStack.push_back(LoopId);
+      int Header = newNode(NodeKind::Header);
+      G.Loops[LoopId].Header = Header;
+      addEdge(Pre, Header);
+
+      // Body chain.
+      Cur = freshBlockAfter(Header);
+      buildList(L->body());
+      addEdge(Cur, Header); // Back edge.
+      LoopStack.pop_back();
+
+      int Post = newNode(NodeKind::Postexit);
+      G.Loops[LoopId].Postexit = Post;
+      addEdge(Header, Post); // Loop-exit edge.
+      addEdge(Pre, Post);    // Zero-trip edge (Figure 7).
+
+      Cur = freshBlockAfter(Post);
+      break;
+    }
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      int Cond = Cur;
+      // Then chain.
+      Cur = freshBlockAfter(Cond);
+      buildList(I->thenBody());
+      int ThenEnd = Cur;
+      // Else chain (a block exists even when the else body is empty, so the
+      // join always has exactly two predecessors).
+      Cur = freshBlockAfter(Cond);
+      buildList(I->elseBody());
+      int ElseEnd = Cur;
+      int Join = newNode(NodeKind::Plain);
+      G.StmtAux[I->id()] = Join;
+      addEdge(ThenEnd, Join);
+      addEdge(ElseEnd, Join);
+      Cur = Join;
+      break;
+    }
+    }
+  }
+
+  Cfg G;
+  int Cur = -1;
+  int NextPreorder = 0;
+  std::vector<int> LoopStack;
+};
+
+} // namespace gca
+
+Cfg Cfg::build(const Routine &R) {
+  CfgBuilder B(R);
+  B.run();
+  return B.take();
+}
+
+int Cfg::nestingLevel(int Node) const {
+  int L = Nodes[Node].LoopId;
+  return L < 0 ? 0 : Loops[L].Level;
+}
+
+int Cfg::enclosingLoopAtLevel(int Node, int Level) const {
+  int L = Nodes[Node].LoopId;
+  while (L >= 0 && Loops[L].Level > Level)
+    L = Loops[L].Parent;
+  if (L >= 0 && Loops[L].Level == Level)
+    return L;
+  return -1;
+}
+
+int Cfg::nodeOf(const AssignStmt *S) const {
+  assert(S->id() < static_cast<int>(StmtNode.size()) && StmtNode[S->id()] >= 0 &&
+         "statement not in CFG");
+  return StmtNode[S->id()];
+}
+
+int Cfg::indexOf(const AssignStmt *S) const { return StmtIndex[S->id()]; }
+
+Slot Cfg::slotBefore(const AssignStmt *S) const {
+  return {nodeOf(S), indexOf(S)};
+}
+
+Slot Cfg::slotAfter(const AssignStmt *S) const {
+  return {nodeOf(S), indexOf(S) + 1};
+}
+
+Slot Cfg::slotAtEnd(int Node) const {
+  return {Node, static_cast<int>(Nodes[Node].Stmts.size())};
+}
+
+int Cfg::loopIdOf(const LoopStmt *L) const {
+  assert(StmtAux[L->id()] >= 0 && "loop not in CFG");
+  return StmtAux[L->id()];
+}
+
+int Cfg::joinNodeOf(const IfStmt *I) const {
+  assert(StmtAux[I->id()] >= 0 && "if not in CFG");
+  return StmtAux[I->id()];
+}
+
+int Cfg::preorderOf(const AssignStmt *S) const {
+  return StmtPreorder[S->id()];
+}
+
+const std::vector<int> &Cfg::loopNestOf(const AssignStmt *S) const {
+  return StmtLoopNest[S->id()];
+}
+
+std::string Cfg::str() const {
+  std::string Out;
+  for (const CfgNode &N : Nodes) {
+    Out += strFormat("B%d [%s] loop=%d:", N.Id, nodeKindName(N.Kind),
+                     N.LoopId);
+    Out += " succs={";
+    for (size_t I = 0; I < N.Succs.size(); ++I)
+      Out += strFormat(I ? ",%d" : "%d", N.Succs[I]);
+    Out += strFormat("} stmts=%d\n", static_cast<int>(N.Stmts.size()));
+  }
+  for (const CfgLoop &L : Loops)
+    Out += strFormat("L%d level=%d parent=%d pre=B%d hdr=B%d post=B%d\n",
+                     L.Id, L.Level, L.Parent, L.Preheader, L.Header,
+                     L.Postexit);
+  return Out;
+}

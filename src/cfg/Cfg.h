@@ -1,0 +1,167 @@
+//===- cfg/Cfg.h - Augmented control flow graph -----------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The augmented CFG of the paper's Section 4.1 / Figure 7: basic blocks plus
+/// explicit *preheader* and *postexit* nodes around every loop, with a
+/// zero-trip edge from the preheader to the postexit. Preheaders dominate all
+/// loop nodes and provide the canonical hoisting position for vectorized
+/// communication; postexits carry the phi-exit definitions of the array SSA.
+///
+/// Placement points are "slots": (node, index) pairs where index j denotes
+/// the program point immediately before the j-th statement of the node
+/// (j == numStmts is the end of the node). Communication "placed immediately
+/// after a definition d" is the slot following d's statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_CFG_CFG_H
+#define GCA_CFG_CFG_H
+
+#include "ir/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace gca {
+
+enum class NodeKind : uint8_t {
+  Entry,
+  Exit,
+  Plain,
+  Preheader,
+  Header,
+  Postexit,
+};
+
+const char *nodeKindName(NodeKind Kind);
+
+/// One CFG node. Only Plain/Entry nodes carry statements.
+struct CfgNode {
+  int Id = -1;
+  NodeKind Kind = NodeKind::Plain;
+  std::vector<int> Succs;
+  std::vector<int> Preds;
+  /// Assign statements in execution order (loops/ifs are structure, not
+  /// block contents).
+  std::vector<const AssignStmt *> Stmts;
+  /// Innermost loop containing this node, -1 at top level. Preheader and
+  /// postexit nodes belong to the loop's *parent* (they are outside).
+  int LoopId = -1;
+};
+
+/// One natural loop of the augmented CFG (they are all structured DO loops).
+struct CfgLoop {
+  int Id = -1;
+  int Parent = -1; ///< Enclosing loop, -1 at top level.
+  int Level = 0;   ///< 1 = outermost (the paper's nesting level NL).
+  const LoopStmt *L = nullptr;
+  int Preheader = -1;
+  int Header = -1;
+  int Postexit = -1;
+};
+
+/// A placement slot: the program point immediately before statement
+/// \p Index of node \p Node (Index == node.Stmts.size() is the node's end).
+struct Slot {
+  int Node = -1;
+  int Index = 0;
+
+  bool isValid() const { return Node >= 0; }
+  friend bool operator==(const Slot &A, const Slot &B) {
+    return A.Node == B.Node && A.Index == B.Index;
+  }
+  friend bool operator<(const Slot &A, const Slot &B) {
+    return A.Node != B.Node ? A.Node < B.Node : A.Index < B.Index;
+  }
+};
+
+/// The augmented CFG of one routine, with loop structure, statement
+/// positions, and the statement loop-nest map the dependence tests need.
+class Cfg {
+public:
+  /// Builds the augmented CFG of \p R. The routine must be scalarized
+  /// (element-wise assignments only) for the analyses to be precise, but the
+  /// graph itself is well-defined for any routine.
+  static Cfg build(const Routine &R);
+
+  const Routine &routine() const { return *R; }
+
+  // Nodes --------------------------------------------------------------
+
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  const CfgNode &node(int Id) const { return Nodes[Id]; }
+  int entry() const { return Entry; }
+  int exit() const { return Exit; }
+
+  // Loops --------------------------------------------------------------
+
+  unsigned numLoops() const { return static_cast<unsigned>(Loops.size()); }
+  const CfgLoop &loop(int Id) const { return Loops[Id]; }
+
+  /// Nesting level of a node: number of loops containing it.
+  int nestingLevel(int Node) const;
+
+  /// Innermost loop of \p Node (-1 if none).
+  int loopOf(int Node) const { return Nodes[Node].LoopId; }
+
+  /// The loop at nesting level \p Level (1-based) on the chain enclosing
+  /// \p Node; -1 when Level exceeds the node's nesting.
+  int enclosingLoopAtLevel(int Node, int Level) const;
+
+  // Statements -----------------------------------------------------------
+
+  /// The node containing \p S (CfgNode(S) in the paper).
+  int nodeOf(const AssignStmt *S) const;
+  /// The index of \p S within its node.
+  int indexOf(const AssignStmt *S) const;
+  /// The slot immediately before \p S.
+  Slot slotBefore(const AssignStmt *S) const;
+  /// The slot immediately after \p S.
+  Slot slotAfter(const AssignStmt *S) const;
+  /// End-of-node slot (used for preheader/header placements).
+  Slot slotAtEnd(int Node) const;
+
+  /// Source pre-order position of \p S, for textual-order comparisons in the
+  /// loop-independent dependence test.
+  int preorderOf(const AssignStmt *S) const;
+
+  /// The stack of loops (CfgLoop ids, outermost first) enclosing \p S in the
+  /// AST. This is NL(S) long.
+  const std::vector<int> &loopNestOf(const AssignStmt *S) const;
+
+  /// The CfgLoop id created for \p L.
+  int loopIdOf(const LoopStmt *L) const;
+  /// The join node of \p I (where phi-merge defs live).
+  int joinNodeOf(const IfStmt *I) const;
+
+  /// Renders the graph for debugging.
+  std::string str() const;
+
+private:
+  Cfg() = default;
+
+  const Routine *R = nullptr;
+  std::vector<CfgNode> Nodes;
+  std::vector<CfgLoop> Loops;
+  int Entry = -1;
+  int Exit = -1;
+
+  // Statement-id indexed maps.
+  std::vector<int> StmtNode;
+  std::vector<int> StmtIndex;
+  std::vector<int> StmtPreorder;
+  std::vector<std::vector<int>> StmtLoopNest;
+  /// LoopStmt -> CfgLoop id; IfStmt -> join node id; -1 otherwise.
+  std::vector<int> StmtAux;
+
+  friend class CfgBuilder;
+};
+
+} // namespace gca
+
+#endif // GCA_CFG_CFG_H

@@ -1,0 +1,102 @@
+//===- cfg/DomTree.cpp - Dominator tree -----------------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/DomTree.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gca;
+
+/// Computes a reverse-postorder of the nodes reachable from entry.
+static std::vector<int> reversePostorder(const Cfg &G) {
+  std::vector<int> Order;
+  std::vector<char> Visited(G.numNodes(), 0);
+  // Iterative DFS with explicit (node, next-successor) stack.
+  std::vector<std::pair<int, unsigned>> Stack;
+  Stack.emplace_back(G.entry(), 0);
+  Visited[G.entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[N, NextSucc] = Stack.back();
+    const CfgNode &Node = G.node(N);
+    if (NextSucc < Node.Succs.size()) {
+      int S = Node.Succs[NextSucc++];
+      if (!Visited[S]) {
+        Visited[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    Order.push_back(N);
+    Stack.pop_back();
+  }
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+DomTree DomTree::compute(const Cfg &G) {
+  DomTree T;
+  unsigned N = G.numNodes();
+  T.IDom.assign(N, -1);
+  T.Depth.assign(N, 0);
+  T.Children.assign(N, {});
+
+  std::vector<int> RPO = reversePostorder(G);
+  std::vector<int> RpoIndex(N, -1);
+  for (int I = 0, E = static_cast<int>(RPO.size()); I != E; ++I)
+    RpoIndex[RPO[I]] = I;
+
+  int Entry = G.entry();
+  T.IDom[Entry] = Entry; // Temporarily self, per CHK convention.
+
+  auto intersect = [&](int A, int B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = T.IDom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = T.IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int Node : RPO) {
+      if (Node == Entry)
+        continue;
+      int NewIDom = -1;
+      for (int P : G.node(Node).Preds) {
+        if (RpoIndex[P] < 0 || T.IDom[P] < 0)
+          continue; // Unreachable or unprocessed predecessor.
+        NewIDom = NewIDom < 0 ? P : intersect(P, NewIDom);
+      }
+      assert(NewIDom >= 0 && "reachable node with no processed predecessor");
+      if (T.IDom[Node] != NewIDom) {
+        T.IDom[Node] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  T.IDom[Entry] = -1;
+  for (int Node : RPO) {
+    if (Node == Entry)
+      continue;
+    T.Children[T.IDom[Node]].push_back(Node);
+  }
+  // Depths in RPO order: the idom of a node always precedes it in RPO.
+  for (int Node : RPO)
+    T.Depth[Node] = Node == Entry ? 0 : T.Depth[T.IDom[Node]] + 1;
+  return T;
+}
+
+bool DomTree::dominates(int A, int B) const {
+  while (Depth[B] > Depth[A])
+    B = IDom[B];
+  return A == B;
+}

@@ -1,0 +1,66 @@
+//===- cfg/DomTree.h - Dominator tree ---------------------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative dominator tree (Cooper-Harvey-Kennedy) over the augmented CFG,
+/// plus slot-level dominance queries. The placement algorithm's candidate
+/// marking (paper Figure 9(e)) walks DomTreeParent links, and redundancy
+/// elimination (Figure 9(f)) uses slot dominance ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_CFG_DOMTREE_H
+#define GCA_CFG_DOMTREE_H
+
+#include "cfg/Cfg.h"
+
+#include <vector>
+
+namespace gca {
+
+class DomTree {
+public:
+  /// Computes dominators of every node reachable from G.entry().
+  static DomTree compute(const Cfg &G);
+
+  /// Immediate dominator of \p Node (-1 for the entry node).
+  int idom(int Node) const { return IDom[Node]; }
+
+  /// Depth in the dominator tree (entry = 0).
+  int depth(int Node) const { return Depth[Node]; }
+
+  /// Reflexive node dominance.
+  bool dominates(int A, int B) const;
+
+  bool properlyDominates(int A, int B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// Slot (program point) dominance: A dominates B iff every execution
+  /// reaching point B has passed point A. Reflexive.
+  bool slotDominates(const Slot &A, const Slot &B) const {
+    if (A.Node == B.Node)
+      return A.Index <= B.Index;
+    return properlyDominates(A.Node, B.Node);
+  }
+
+  /// Children of \p Node in the dominator tree.
+  const std::vector<int> &children(int Node) const {
+    return Children[Node];
+  }
+
+private:
+  DomTree() = default;
+
+  std::vector<int> IDom;
+  std::vector<int> Depth;
+  std::vector<std::vector<int>> Children;
+};
+
+} // namespace gca
+
+#endif // GCA_CFG_DOMTREE_H

@@ -1,0 +1,160 @@
+//===- core/CommEntry.h - Communication entries and plans -------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data model of the placement algorithm: one CommEntry per non-local
+/// reference (after diagonal decomposition and per-statement coalescing),
+/// carrying its Earliest/Latest analysis, candidate slots, and final
+/// placement; CommGroups are the combined aggregate operations the code
+/// generator emits (one runtime call site each); a CommPlan is the result of
+/// running one placement strategy over a routine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_CORE_COMMENTRY_H
+#define GCA_CORE_COMMENTRY_H
+
+#include "cfg/Cfg.h"
+#include "section/Asd.h"
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gca {
+
+/// One communication requirement for one use.
+struct CommEntry {
+  int Id = -1;
+  const AssignStmt *UseStmt = nullptr;
+  /// The references this entry fetches data for (more than one after
+  /// per-statement coalescing merged same-pattern references).
+  std::vector<ArrayRef> Refs;
+  int ArrayId = -1;
+  Mapping M;
+  /// Extra elements the overlap region must extend by on each side of each
+  /// array dim (from diagonal-shift decomposition, Section 2.2); indexed
+  /// [dim][0 = low side, 1 = high side].
+  std::vector<std::array<int64_t, 2>> Augment;
+  /// Diagonal-decomposition linkage: ids shared by the axis-phase entries of
+  /// one diagonal reference. Sibling phases must be placed at the same point
+  /// (and fire in dimension order there) so corner forwarding through the
+  /// overlap regions stays correct (Section 2.2).
+  std::vector<int> DiagIds;
+
+  // --- Analysis results (Sections 4.2-4.4) ---
+  int EarliestDef = -1; ///< SSA def id returned by Earliest(u).
+  Slot EarliestSlot;
+  Slot LatestSlot;
+  int CommLevel = 0;
+  /// Candidate placement slots, in dominance order (earliest first). For
+  /// reductions this is the single slot before the use (Section 6.2).
+  std::vector<Slot> Candidates;
+  /// Candidates as originally marked, before subset/redundancy elimination
+  /// ("including entries disabled during redundancy elimination" take part
+  /// in the final latest-common-position computation).
+  std::vector<Slot> OriginalCandidates;
+
+  // --- Placement outcome (Sections 4.5-4.7) ---
+  bool Eliminated = false; ///< Fully redundant; folded into SubsumedBy.
+  int SubsumedBy = -1;
+  /// Partial redundancy elimination ([14], paper Section 4.6 discussion):
+  /// when set, only this remainder section is communicated — the rest is
+  /// available from an earlier dominating communication.
+  std::optional<RegSection> ReducedD;
+  Slot Chosen;
+  int GroupId = -1;
+};
+
+/// One combined aggregate communication operation (one call site).
+struct CommGroup {
+  int Id = -1;
+  Slot Placement;
+  CommKind Kind = CommKind::Local;
+  Mapping M; ///< The widest mapping of the members (max shift magnitudes).
+  std::vector<int> Members;  ///< Entry ids placed here.
+  std::vector<int> Attached; ///< Eliminated entries served by this group.
+  /// Descriptors communicated, one per distinct (array, section): evaluated
+  /// at the placement slot's nesting level.
+  std::vector<Asd> Data;
+  /// Per-Data overlap augmentation (widest over contributing entries),
+  /// indexed [DataIdx][ArrayDim][0 = low side, 1 = high side]. Receivers of
+  /// a shift extend their ghost boxes by this much along the non-shifted
+  /// dims (corner forwarding, Section 2.2).
+  std::vector<std::vector<std::array<int64_t, 2>>> DataAug;
+};
+
+/// Placement strategies evaluated by the paper (Section 5) plus the
+/// exhaustive reference placer used for the Section 6.1 ablation.
+enum class Strategy : uint8_t {
+  Orig,     ///< Message vectorization only (the paper's "orig" bars).
+  Earliest, ///< + earliest-placement redundancy elimination ("nored").
+  Global,   ///< The paper's new algorithm ("comb").
+  Optimal,  ///< Exhaustive candidate choice (extension, small inputs only).
+  /// Earliest placement with same-point combining: the strawman of the
+  /// paper's Figure 3 discussion. It combines across arrays only when their
+  /// earliest points happen to coincide, which is what makes it sensitive
+  /// to the syntactic structure of the source.
+  EarliestCombine,
+};
+
+const char *strategyName(Strategy S);
+
+/// Options controlling combining (Section 4.7).
+struct PlacementOptions {
+  Strategy Strat = Strategy::Global;
+  /// Combined per-processor data size cap ("currently set to 20 KB for
+  /// SP2").
+  int64_t CombineThresholdBytes = 20 * 1024;
+  /// Union-descriptor growth cap: |D1 u D2| may exceed |D1| + |D2| by at
+  /// most this factor ("a small constant").
+  double MaxUnionGrowth = 1.5;
+  /// Number of processors assumed when estimating per-processor message
+  /// sizes for the threshold test.
+  int NumProcs = 25;
+  /// Decompose diagonal shifts into augmented axis shifts (the pHPF message
+  /// coalescing of Section 2.2). Disabled only in ablation studies.
+  bool SubsumeDiagonals = true;
+  /// Partial redundancy elimination for the earliest-placement baseline:
+  /// an entry covered *partially* by an earlier dominating communication
+  /// sends only the representable section difference, the behaviour of [14]
+  /// that the paper's Figure 4 discussion contrasts against ("reduce the
+  /// communication for b2 to ASD(b2) - ASD(b1)").
+  bool PartialRedundancy = false;
+  /// Section 6.2 extension ("left for future work" in the paper): give
+  /// reductions a placement *range* via the reversed analysis — the global
+  /// combine may defer from its sum() statement to any dominating point
+  /// before the first read of the result scalar, letting reductions
+  /// computed at different statements combine. Global/Optimal only.
+  bool DeferReductions = false;
+};
+
+/// Static message statistics, per communication kind (the Figure 10 table).
+struct CommStats {
+  int NumGroups[5] = {0, 0, 0, 0, 0}; ///< Indexed by CommKind.
+  int NumEntries = 0;
+  int NumEliminated = 0;
+
+  int groups(CommKind K) const { return NumGroups[static_cast<int>(K)]; }
+  int totalGroups() const;
+  std::string str() const;
+};
+
+/// The result of one strategy run.
+struct CommPlan {
+  Strategy Strat = Strategy::Global;
+  std::vector<CommEntry> Entries;
+  std::vector<CommGroup> Groups;
+  CommStats Stats;
+
+  std::string str(const Routine &R) const;
+};
+
+} // namespace gca
+
+#endif // GCA_CORE_COMMENTRY_H

@@ -1,0 +1,43 @@
+//===- core/Detect.h - Communication requirement detection ------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finds every RHS reference that needs communication under the
+/// owner-computes rule and classifies its pattern (NNC shift, SUM reduction,
+/// broadcast, general). Diagonal shifts are decomposed into augmented axis
+/// shifts (the pHPF message-coalescing optimization the paper's Section 2.2
+/// credits for subsuming diagonal communication), and references with
+/// identical patterns within one statement are coalesced into one entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_CORE_DETECT_H
+#define GCA_CORE_DETECT_H
+
+#include "core/CommEntry.h"
+#include "core/Context.h"
+
+namespace gca {
+
+/// Produces the initial communication entries of the routine, in statement
+/// order. Entry ids are dense.
+std::vector<CommEntry> detectCommunication(const AnalysisContext &Ctx,
+                                           const PlacementOptions &Opts);
+
+/// The descriptor (array section + mapping) entry \p E communicates when
+/// placed at nesting level \p Level: the union of its references' sections
+/// with the overlap augmentation applied, clamped to the array bounds.
+Asd asdOfEntry(const AnalysisContext &Ctx, const CommEntry &E, int Level);
+
+/// Classification of a single RHS reference against the statement's LHS;
+/// exposed for unit tests.
+Mapping classifyRef(const Routine &R, const AssignStmt *S,
+                    const ArrayRef &Ref, bool IsSum);
+
+} // namespace gca
+
+#endif // GCA_CORE_DETECT_H

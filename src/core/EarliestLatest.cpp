@@ -1,0 +1,334 @@
+//===- core/EarliestLatest.cpp - Placement range analysis -----------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Earliest(u) implementation note. The paper computes Earliest(u) with the
+/// Test/Rcount walk of Figure 8; Claim 4.1 and Lemmas 4.2-4.4 characterize
+/// the result: the earliest single point that (a) dominates u and (b) is not
+/// dominated-by-passed by any definition with a true dependence to u. We
+/// compute that characterization directly: every dependence source d
+/// (a regular def with IsArrayDep to u, discovered through the SSA chain of
+/// phi parameters and preserving-def look-through) contributes a *barrier* —
+/// the first position on its chain toward u that dominates u. That is
+/// slotAfter(d) when d itself dominates u, the phi-merge/phi-exit where d's
+/// value surfaces when it does not, and the phi-entry at the carrying loop's
+/// header for loop-carried sources. Earliest(u) is the latest barrier (they
+/// are totally ordered: all dominate u). This is exactly the set of "two
+/// node-disjoint backpath" merge points Lemma 4.3's argument pivots on, and
+/// it is robust against the double-counting subtleties that a literal
+/// reading of Rcount exhibits around zero-trip edges and preserving defs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/EarliestLatest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace gca;
+
+namespace {
+
+/// Computes Earliest(u) for one entry via dependence-source barriers.
+class EarliestWalk {
+public:
+  EarliestWalk(const AnalysisContext &Ctx, const CommEntry &E)
+      : Ctx(Ctx), E(E), UseNest(Ctx.G.loopNestOf(E.UseStmt)),
+        UsePoint(Ctx.G.slotBefore(E.UseStmt)) {}
+
+  /// Classifies the dependences from def \p D to the use and pushes their
+  /// barriers. A loop-independent dependence flows along the intra-iteration
+  /// chain, so its barrier is the current \p Absorber (the nearest chain
+  /// position dominating the use); a dependence carried at level l flows
+  /// through the level-l loop's back edge, so its barrier is that loop's
+  /// header top (the phi-entry point), independent of the chain route that
+  /// reached D. Returns true when a loop-independent dependence pins this
+  /// chain (nothing above D can supply fresher data along it).
+  bool pushBarriers(const SsaDef &D, const Slot &Absorber) {
+    assert(D.Kind == DefKind::Regular && "dependence test needs a statement");
+    bool Pinned = false;
+    int CNL = Ctx.Dep.commonNestingLevel(D.Stmt, E.UseStmt);
+    for (const ArrayRef &Ref : E.Refs) {
+      if (!Pinned && Ctx.Dep.loopIndependent(D.Stmt, E.UseStmt, Ref)) {
+        if (slotLater(Absorber, Barrier))
+          Barrier = Absorber;
+        Pinned = true;
+      }
+      for (int L = 1; L <= CNL; ++L) {
+        if (!Ctx.Dep.carriedAt(D.Stmt, E.UseStmt, Ref, L))
+          continue;
+        const CfgLoop &Loop = Ctx.G.loop(UseNest[L - 1]);
+        Slot Header{Loop.Header, 0};
+        if (slotLater(Header, Barrier))
+          Barrier = Header;
+      }
+    }
+    return Pinned;
+  }
+
+  Slot run() {
+    int Var = Ctx.S.varOfArray(E.ArrayId);
+    int Start = Ctx.S.reachingBefore(E.UseStmt, Var);
+    BestDepth.assign(Ctx.S.numDefs(), -1);
+    Slot EntrySlot = Ctx.S.def(Ctx.S.entryDef(Var)).AfterSlot;
+    Barrier = EntrySlot;
+    walk(Start, EntrySlot);
+    return Barrier;
+  }
+
+private:
+  /// Dominance depth used to order slots (deeper = later).
+  int64_t slotDepth(const Slot &S) const {
+    return static_cast<int64_t>(Ctx.DT.depth(S.Node)) * 1000000 + S.Index;
+  }
+
+  bool slotLater(const Slot &A, const Slot &B) const {
+    return slotDepth(A) > slotDepth(B);
+  }
+
+  /// Walks the use-def chain from the use toward definitions; \p Absorber is
+  /// the most recently passed chain position that dominates the use — i.e.
+  /// the first dominating point (walking back up toward the use) at which
+  /// data defined here surfaces. A source found below pins Earliest to the
+  /// absorber current when it is reached. Defs may be revisited with a
+  /// deeper absorber so the deepest (safest) barrier is always found.
+  void walk(int DefId, Slot Absorber) {
+    if (DefId < 0)
+      return;
+    const SsaDef &D = Ctx.S.def(DefId);
+    if (Ctx.DT.slotDominates(D.AfterSlot, UsePoint))
+      Absorber = D.AfterSlot;
+    int64_t Depth = slotDepth(Absorber);
+    if (BestDepth[DefId] >= Depth)
+      return;
+    BestDepth[DefId] = Depth;
+
+    switch (D.Kind) {
+    case DefKind::Entry:
+      return;
+    case DefKind::Regular:
+      if (pushBarriers(D, Absorber))
+        return; // Loop-independent source: the chain is pinned here.
+      if (Ctx.S.varIsArray(D.Var)) // Preserving: look through.
+        walk(D.Prev, Absorber);
+      return;
+    case DefKind::PhiEntry:
+    case DefKind::PhiExit:
+    case DefKind::PhiMerge:
+      for (int P : D.Params)
+        walk(P, Absorber);
+      return;
+    }
+  }
+
+  const AnalysisContext &Ctx;
+  const CommEntry &E;
+  const std::vector<int> &UseNest;
+  Slot UsePoint;
+  Slot Barrier;
+  std::vector<int64_t> BestDepth;
+};
+
+} // namespace
+
+Slot gca::computeEarliestSlot(const AnalysisContext &Ctx,
+                              const CommEntry &E) {
+  return EarliestWalk(Ctx, E).run();
+}
+
+/// Latest(u) of Section 4.2: CommLevel = max DepLevel over reaching regular
+/// defs; placement before the statement (CommLevel == NL(u)) or in the
+/// preheader of the loop at level CommLevel + 1.
+static void computeLatest(const AnalysisContext &Ctx, CommEntry &E) {
+  int Var = Ctx.S.varOfArray(E.ArrayId);
+  int Reach = Ctx.S.reachingBefore(E.UseStmt, Var);
+  std::vector<int> Defs;
+  bool ReachesEntry = false;
+  Ctx.S.collectReachingRegularDefs(Reach, Defs, ReachesEntry);
+
+  int CommLevel = 0;
+  for (int DId : Defs) {
+    const SsaDef &D = Ctx.S.def(DId);
+    for (const ArrayRef &Ref : E.Refs)
+      CommLevel =
+          std::max(CommLevel, Ctx.Dep.depLevel(D.Stmt, E.UseStmt, Ref));
+  }
+
+  const std::vector<int> &Nest = Ctx.G.loopNestOf(E.UseStmt);
+  int NL = static_cast<int>(Nest.size());
+  assert(CommLevel <= NL && "communication level deeper than the use");
+  E.CommLevel = CommLevel;
+  if (CommLevel == NL) {
+    E.LatestSlot = Ctx.G.slotBefore(E.UseStmt);
+  } else {
+    const CfgLoop &L = Ctx.G.loop(Nest[CommLevel]);
+    E.LatestSlot = {L.Preheader, 0};
+  }
+}
+
+/// Enumerates the slots of the dominator-tree segment [Lo, Hi] (both slots
+/// included; Lo must dominate Hi), in dominance order.
+static std::vector<Slot> slotRange(const AnalysisContext &Ctx, const Slot &Lo,
+                                   const Slot &Hi) {
+  std::vector<Slot> Out;
+  if (Lo.Node == Hi.Node) {
+    for (int I = Lo.Index; I <= Hi.Index; ++I)
+      Out.push_back({Lo.Node, I});
+  } else {
+    for (int I = 0; I <= Hi.Index; ++I)
+      Out.push_back({Hi.Node, I});
+    int C = Ctx.DT.idom(Hi.Node);
+    while (C >= 0 && C != Lo.Node) {
+      Slot End = Ctx.G.slotAtEnd(C);
+      for (int I = 0; I <= End.Index; ++I)
+        Out.push_back({C, I});
+      C = Ctx.DT.idom(C);
+    }
+    assert(C == Lo.Node &&
+           "Earliest block not on the dominator chain of Latest (Claim 4.5)");
+    Slot End = Ctx.G.slotAtEnd(Lo.Node);
+    for (int I = Lo.Index; I <= End.Index; ++I)
+      Out.push_back({Lo.Node, I});
+  }
+
+  // Dominance order, earliest first.
+  std::sort(Out.begin(), Out.end(), [&](const Slot &A, const Slot &B) {
+    if (A.Node != B.Node)
+      return Ctx.DT.depth(A.Node) < Ctx.DT.depth(B.Node);
+    return A.Index < B.Index;
+  });
+  return Out;
+}
+
+/// Candidate marking of Figure 9(e): slots from Latest(u) up the dominator
+/// tree to Earliest(u).
+static void markCandidates(const AnalysisContext &Ctx, CommEntry &E) {
+  E.Candidates = slotRange(Ctx, E.EarliestSlot, E.LatestSlot);
+  E.OriginalCandidates = E.Candidates;
+}
+
+/// The Section 6.2 extension: widens a reduction's placement range from the
+/// single point after its sum() statement to every dominating point before
+/// the first read of the result scalar (the "reversed SSA" analysis the
+/// paper leaves for future work). Bails out when the result flows into a
+/// phi (it escapes the straight-line region) or has no direct reader.
+static void deferReduction(const AnalysisContext &Ctx, CommEntry &E) {
+  const AssignStmt *S = E.UseStmt;
+  if (!S->lhsIsScalar())
+    return;
+  int ScalarId = S->lhsScalarId();
+  int Var = Ctx.S.varOfScalar(ScalarId);
+  int Def = Ctx.S.defOfStmt(S);
+
+  // Find the statements reading this scalar, and the set of definitions
+  // backward-reachable from those reads through phi parameters (a phi that
+  // never reaches a read is dead — typically the loop-exit merge of a
+  // scalar that is re-assigned every iteration).
+  std::vector<const AssignStmt *> Readers;
+  std::vector<int> ReadRoots;
+  Ctx.R.forEachStmt([&](Stmt *St) {
+    auto *A = dyn_cast<AssignStmt>(St);
+    if (!A || A == S)
+      return;
+    bool ReadsScalar = false;
+    for (const RhsTerm &T : A->rhs())
+      ReadsScalar |= T.K == RhsTerm::Kind::Scalar && T.ScalarId == ScalarId;
+    if (!ReadsScalar)
+      return;
+    int Reach = Ctx.S.reachingBefore(A, Var);
+    if (Reach == Def)
+      Readers.push_back(A);
+    else
+      ReadRoots.push_back(Reach);
+  });
+  if (Readers.empty())
+    return;
+
+  // The value must not escape through a *live* phi to some other read.
+  std::vector<char> Marked(Ctx.S.numDefs(), 0);
+  std::vector<int> Work = ReadRoots;
+  while (!Work.empty()) {
+    int D = Work.back();
+    Work.pop_back();
+    if (D < 0 || Marked[D])
+      continue;
+    Marked[D] = 1;
+    for (int P : Ctx.S.def(D).Params) {
+      if (P == Def)
+        return; // Escapes: another read sees it through a merge.
+      Work.push_back(P);
+    }
+  }
+
+  const AssignStmt *First = Readers[0];
+  for (const AssignStmt *R : Readers)
+    if (Ctx.G.preorderOf(R) < Ctx.G.preorderOf(First))
+      First = R;
+  Slot Lo = Ctx.G.slotAfter(S);
+  Slot Hi = Ctx.G.slotBefore(First);
+  if (!Ctx.DT.slotDominates(Lo, Hi))
+    return;
+
+  std::vector<Slot> Range = slotRange(Ctx, Lo, Hi);
+  // Keep only slots that execute before *every* reader and that are no
+  // deeper than the sum statement itself (descending into a consumer's
+  // loop nest would fire the combine once per iteration).
+  int MaxLevel = static_cast<int>(Ctx.G.loopNestOf(S).size());
+  std::vector<Slot> Kept;
+  for (const Slot &P : Range) {
+    if (Ctx.slotLevel(P) > MaxLevel)
+      continue;
+    bool All = true;
+    for (const AssignStmt *R : Readers)
+      All &= Ctx.DT.slotDominates(P, Ctx.G.slotBefore(R));
+    if (All)
+      Kept.push_back(P);
+  }
+  if (Kept.empty())
+    return;
+  E.LatestSlot = Kept.back();
+  E.Candidates = Kept;
+  E.OriginalCandidates = std::move(Kept);
+}
+
+void gca::analyzeEntryPlacement(const AnalysisContext &Ctx, CommEntry &E,
+                                const PlacementOptions &Opts) {
+  // Reductions are inverted (Section 6.2): "the computation occurs first
+  // (for the partial reduction operation on individual processors),
+  // followed by communication for the global reduction operation that must
+  // be completed before the use" — so the combine fires immediately after
+  // the statement computing the partial sums. The prototype does no
+  // candidate marking for reductions; it only combines ones placed at the
+  // same point.
+  if (E.M.Kind == CommKind::Reduce) {
+    E.EarliestSlot = E.LatestSlot = Ctx.G.slotAfter(E.UseStmt);
+    E.CommLevel = static_cast<int>(Ctx.G.loopNestOf(E.UseStmt).size());
+    E.Candidates = {E.LatestSlot};
+    E.OriginalCandidates = E.Candidates;
+    if (Opts.DeferReductions && (Opts.Strat == Strategy::Global ||
+                                 Opts.Strat == Strategy::Optimal))
+      deferReduction(Ctx, E);
+    return;
+  }
+
+  computeLatest(Ctx, E);
+  E.EarliestSlot = computeEarliestSlot(Ctx, E);
+
+  // Claim 4.5 guarantees Earliest dominates Latest; guard against analysis
+  // imprecision by degrading to the single Latest slot.
+  if (!Ctx.DT.slotDominates(E.EarliestSlot, E.LatestSlot)) {
+    std::fprintf(stderr,
+                 "EarliestLatest violation: stmt=%d array=%d early=(B%d,%d) "
+                 "late=(B%d,%d) commlevel=%d\n",
+                 E.UseStmt->id(), E.ArrayId, E.EarliestSlot.Node,
+                 E.EarliestSlot.Index, E.LatestSlot.Node, E.LatestSlot.Index,
+                 E.CommLevel);
+    assert(false && "Earliest does not dominate Latest");
+    E.EarliestSlot = E.LatestSlot;
+  }
+  markCandidates(Ctx, E);
+}

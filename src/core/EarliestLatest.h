@@ -1,0 +1,45 @@
+//===- core/EarliestLatest.h - Placement range analysis ---------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes, for each communication entry:
+///
+///  - Latest(u): the latest-and-shallowest placement from standard
+///    communication vectorization (Section 4.2) — just before the outermost
+///    loop carrying no true dependence on u, or just before the statement
+///    when every common level carries one;
+///  - Earliest(u): the earliest *single dominating* placement, from the
+///    Test/Rcount walk over the array SSA (Figure 8, Claim 4.1);
+///  - the candidate slots between them along the dominator tree
+///    (Figure 9(e), Claims 4.5/4.6).
+///
+/// Reductions skip the range analysis: the prototype places reduction
+/// communication at its use and only combines same-point reductions
+/// (Section 6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_CORE_EARLIESTLATEST_H
+#define GCA_CORE_EARLIESTLATEST_H
+
+#include "core/CommEntry.h"
+#include "core/Context.h"
+
+namespace gca {
+
+/// Fills EarliestSlot/LatestSlot/CommLevel/Candidates of \p E.
+void analyzeEntryPlacement(const AnalysisContext &Ctx, CommEntry &E,
+                           const PlacementOptions &Opts);
+
+/// The Earliest(u) computation (Figure 8 / Claim 4.1, via dependence-source
+/// barriers — see the implementation note in EarliestLatest.cpp); exposed
+/// for unit tests.
+Slot computeEarliestSlot(const AnalysisContext &Ctx, const CommEntry &E);
+
+} // namespace gca
+
+#endif // GCA_CORE_EARLIESTLATEST_H

@@ -1,0 +1,919 @@
+//===- core/Placement.cpp - Global communication placement ----------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Placement.h"
+
+#include "core/Detect.h"
+#include "core/EarliestLatest.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+using namespace gca;
+
+const char *gca::strategyName(Strategy S) {
+  switch (S) {
+  case Strategy::Orig:
+    return "orig";
+  case Strategy::Earliest:
+    return "nored";
+  case Strategy::Global:
+    return "comb";
+  case Strategy::Optimal:
+    return "optimal";
+  case Strategy::EarliestCombine:
+    return "earlycomb";
+  }
+  return "?";
+}
+
+int CommStats::totalGroups() const {
+  int N = 0;
+  for (int K : NumGroups)
+    N += K;
+  return N;
+}
+
+std::string CommStats::str() const {
+  return strFormat("NNC=%d SUM=%d BCAST=%d GEN=%d (entries=%d elim=%d)",
+                   groups(CommKind::Shift), groups(CommKind::Reduce),
+                   groups(CommKind::Bcast), groups(CommKind::General),
+                   NumEntries, NumEliminated);
+}
+
+int64_t gca::estimatePerProcBytes(const AnalysisContext &Ctx, const Asd &A,
+                                  int NumProcs) {
+  const ArrayDecl &Decl = Ctx.R.array(A.ArrayId);
+  int64_t Elems = A.D.numElems();
+  if (Elems < 0)
+    Elems = Decl.numElems(); // Unknown extent: assume the whole array.
+  unsigned TRank = std::max(1u, A.M.Sig.rank());
+  int ProcsPerDim =
+      std::max(1, static_cast<int>(std::llround(
+                      std::pow(static_cast<double>(NumProcs),
+                               1.0 / static_cast<double>(TRank)))));
+  switch (A.M.Kind) {
+  case CommKind::Shift: {
+    // Boundary slab: extent along the shifted dim becomes |offset|; the
+    // remaining extents are divided among the processors of the other dims.
+    std::vector<unsigned> Dims;
+    for (unsigned D = 0, E = Decl.rank(); D != E; ++D)
+      if (Decl.Dist[D] != DistKind::Star)
+        Dims.push_back(D);
+    int64_t Slab = Elems;
+    for (unsigned K = 0; K != A.M.Offsets.size(); ++K) {
+      if (A.M.Offsets[K] == 0)
+        continue;
+      int64_t Count = K < Dims.size() ? A.D.dim(Dims[K]).count() : -1;
+      if (Count > 0)
+        Slab = Slab / Count * std::llabs(A.M.Offsets[K]);
+    }
+    int OtherProcs = 1;
+    for (unsigned K = 1; K < TRank; ++K)
+      OtherProcs *= ProcsPerDim;
+    return Slab * Decl.ElemBytes / std::max(1, OtherProcs);
+  }
+  case CommKind::Reduce:
+    return Decl.ElemBytes; // One partial result per reduction.
+  case CommKind::Bcast: {
+    std::vector<unsigned> Dims;
+    for (unsigned D = 0, E = Decl.rank(); D != E; ++D)
+      if (Decl.Dist[D] != DistKind::Star)
+        Dims.push_back(D);
+    int64_t Count = A.M.BcastDim < static_cast<int>(Dims.size())
+                        ? A.D.dim(Dims[A.M.BcastDim]).count()
+                        : 1;
+    if (Count > 0)
+      Elems /= Count;
+    return Elems * Decl.ElemBytes / std::max(1, ProcsPerDim);
+  }
+  case CommKind::General:
+    return Elems * Decl.ElemBytes / std::max(1, NumProcs);
+  case CommKind::Local:
+    return 0;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Shared machinery for the strategy drivers.
+class Placer {
+public:
+  Placer(const AnalysisContext &Ctx, const PlacementOptions &Opts)
+      : Ctx(Ctx), Opts(Opts) {}
+
+  CommPlan run() {
+    CommPlan Plan;
+    Plan.Strat = Opts.Strat;
+    Plan.Entries = detectCommunication(Ctx, Opts);
+    for (CommEntry &E : Plan.Entries)
+      analyzeEntryPlacement(Ctx, E, Opts);
+
+    switch (Opts.Strat) {
+    case Strategy::Orig:
+      runOrig(Plan);
+      break;
+    case Strategy::Earliest:
+      runEarliest(Plan);
+      break;
+    case Strategy::Global:
+      runGlobal(Plan);
+      break;
+    case Strategy::Optimal:
+      runOptimal(Plan);
+      break;
+    case Strategy::EarliestCombine:
+      runEarliest(Plan);
+      break;
+    }
+
+    finalizeGroups(Plan);
+    computeStats(Plan);
+    return Plan;
+  }
+
+private:
+  // --- Helpers ------------------------------------------------------------
+
+  const Asd &asdAt(const CommEntry &E, int Level) {
+    auto Key = std::make_pair(E.Id, Level);
+    auto It = AsdCache.find(Key);
+    if (It != AsdCache.end())
+      return It->second;
+    return AsdCache.emplace(Key, asdOfEntry(Ctx, E, Level)).first->second;
+  }
+
+  int slotLevel(const Slot &S) const { return Ctx.slotLevel(S); }
+
+  /// Total order on slots by dominance depth (later slots order higher).
+  bool slotLater(const Slot &A, const Slot &B) const {
+    if (A.Node != B.Node)
+      return Ctx.DT.depth(A.Node) > Ctx.DT.depth(B.Node);
+    return A.Index > B.Index;
+  }
+
+  /// The latest slot in the (sorted ascending) intersection of candidate
+  /// lists; invalid slot when the intersection is empty.
+  Slot latestCommon(const std::vector<const std::vector<Slot> *> &Lists) const {
+    if (Lists.empty())
+      return Slot();
+    Slot Best;
+    for (const Slot &S : *Lists[0]) {
+      bool InAll = true;
+      for (size_t I = 1; I < Lists.size() && InAll; ++I)
+        InAll = std::find(Lists[I]->begin(), Lists[I]->end(), S) !=
+                Lists[I]->end();
+      if (InAll && (!Best.isValid() || slotLater(S, Best)))
+        Best = S;
+    }
+    return Best;
+  }
+
+  /// Section shapes (per-dim counts, singleton dims squeezed) for the
+  /// cross-array combining rule: the combined descriptor must refer to
+  /// "identical sections of different arrays" (Section 4.7).
+  static std::vector<int64_t> squeezedShape(const RegSection &D) {
+    std::vector<int64_t> Out;
+    for (unsigned I = 0, E = D.rank(); I != E; ++I) {
+      int64_t C = D.dim(I).count();
+      if (C != 1)
+        Out.push_back(C);
+    }
+    return Out;
+  }
+
+  /// Combining admission test of Section 4.7 for adding entry \p E to a
+  /// group currently holding \p Members at slot \p S. Only the global
+  /// algorithm may combine across arrays; the orig/nored baselines perform
+  /// same-array coalescing only.
+  bool canJoinGroup(const CommGroup &G, const std::vector<CommEntry> &Entries,
+                    const CommEntry &E, const Slot &S) {
+    int Level = slotLevel(S);
+    if (!G.M.compatibleWith(E.M))
+      return false;
+    bool CrossCombine = Opts.Strat == Strategy::Global ||
+                        Opts.Strat == Strategy::Optimal ||
+                        Opts.Strat == Strategy::EarliestCombine;
+    if (!CrossCombine) {
+      // Baselines only coalesce same-array data and never combine
+      // reductions (combining is the new algorithm's contribution).
+      if (E.M.Kind == CommKind::Reduce)
+        return false;
+      for (int M : G.Members)
+        if (Entries[M].ArrayId != E.ArrayId)
+          return false;
+    }
+    if (E.M.Kind == CommKind::Reduce)
+      return true; // Combined payload is one value per reduction.
+
+    const Asd &AE = asdAt(E, Level);
+    int64_t Bytes = estimatePerProcBytes(Ctx, AE, Opts.NumProcs);
+    for (int M : G.Members)
+      Bytes += estimatePerProcBytes(Ctx, asdAt(Entries[M], Level),
+                                    Opts.NumProcs);
+    if (Bytes > Opts.CombineThresholdBytes)
+      return false;
+
+    for (int M : G.Members) {
+      const Asd &AM = asdAt(Entries[M], Level);
+      // Both same-array and cross-array combining use one union descriptor
+      // (for different arrays it "refers to identical sections of different
+      // arrays"); its size may exceed the combined size only by a small
+      // constant (Section 4.7).
+      if (AM.D.rank() == AE.D.rank()) {
+        RegSection U;
+        int64_t UnionElems, SumElems;
+        if (!AM.D.unionApprox(AE.D, U, UnionElems, SumElems))
+          return false;
+        if (UnionElems > 0 && SumElems > 0 &&
+            static_cast<double>(UnionElems) >
+                Opts.MaxUnionGrowth * static_cast<double>(SumElems))
+          return false;
+      } else if (squeezedShape(AM.D) != squeezedShape(AE.D)) {
+        // Different ranks (e.g. a 3-d plane against a 2-d array): require
+        // identical squeezed shapes.
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Buckets entries by chosen slot and forms compatibility groups.
+  void buildGroups(CommPlan &Plan) {
+    std::map<Slot, std::vector<int>> BySlot;
+    for (const CommEntry &E : Plan.Entries)
+      if (!E.Eliminated && E.Chosen.isValid())
+        BySlot[E.Chosen].push_back(E.Id);
+
+    for (auto &[S, Ids] : BySlot) {
+      std::vector<int> GroupsHere;
+      for (int Id : Ids) {
+        CommEntry &E = Plan.Entries[Id];
+        bool Joined = false;
+        for (int GId : GroupsHere) {
+          CommGroup &G = Plan.Groups[GId];
+          if (canJoinGroup(G, Plan.Entries, E, S)) {
+            G.Members.push_back(Id);
+            E.GroupId = GId;
+            Joined = true;
+            break;
+          }
+        }
+        if (Joined)
+          continue;
+        CommGroup G;
+        G.Id = static_cast<int>(Plan.Groups.size());
+        G.Placement = S;
+        G.Kind = E.M.Kind;
+        G.M = E.M;
+        G.Members = {Id};
+        E.GroupId = G.Id;
+        Plan.Groups.push_back(std::move(G));
+        GroupsHere.push_back(Plan.Groups.back().Id);
+      }
+    }
+
+    // Attach eliminated entries to their subsumer's group.
+    for (CommEntry &E : Plan.Entries) {
+      if (!E.Eliminated)
+        continue;
+      int Leader = E.SubsumedBy;
+      std::set<int> Seen;
+      while (Leader >= 0 && Plan.Entries[Leader].Eliminated &&
+             Seen.insert(Leader).second)
+        Leader = Plan.Entries[Leader].SubsumedBy;
+      if (Leader >= 0 && Plan.Entries[Leader].GroupId >= 0) {
+        int GId = Plan.Entries[Leader].GroupId;
+        Plan.Groups[GId].Attached.push_back(E.Id);
+        E.GroupId = GId;
+      }
+    }
+  }
+
+  /// Final placement: each group moves to the latest position common to the
+  /// candidate ranges of its members and attached entries (Section 4.7);
+  /// groups that land on the same point and are mutually combinable merge
+  /// (the motion often reunites entries the pruned-slot greedy separated);
+  /// then each group's widest mapping and data descriptors are computed.
+  void finalizeGroups(CommPlan &Plan) {
+    for (CommGroup &G : Plan.Groups) {
+      std::vector<const std::vector<Slot> *> Lists;
+      for (int Id : G.Members)
+        Lists.push_back(&Plan.Entries[Id].OriginalCandidates);
+      for (int Id : G.Attached)
+        Lists.push_back(&Plan.Entries[Id].OriginalCandidates);
+      Slot Best = latestCommon(Lists);
+      if (Best.isValid())
+        G.Placement = Best;
+    }
+
+    mergeCoplacedGroups(Plan);
+
+    for (CommGroup &G : Plan.Groups) {
+      int Level = slotLevel(G.Placement);
+      // Widest mapping across members and attached entries.
+      auto widen = [&](const CommEntry &E) {
+        for (unsigned K = 0; K != G.M.Offsets.size(); ++K)
+          if (std::llabs(E.M.Offsets[K]) > std::llabs(G.M.Offsets[K]))
+            G.M.Offsets[K] = E.M.Offsets[K];
+      };
+      for (int Id : G.Members)
+        widen(Plan.Entries[Id]);
+      for (int Id : G.Attached)
+        widen(Plan.Entries[Id]);
+
+      // Data descriptors: union same-array sections where representable.
+      G.Data.clear();
+      G.DataAug.clear();
+      auto addAsd = [&](const CommEntry &E) {
+        Asd A = asdAt(E, Level);
+        if (E.ReducedD)
+          A.D = *E.ReducedD; // Partial redundancy: remainder only.
+        for (size_t I = 0; I != G.Data.size(); ++I) {
+          Asd &Existing = G.Data[I];
+          if (Existing.ArrayId != A.ArrayId)
+            continue;
+          RegSection U;
+          int64_t UE, SE;
+          if (Existing.D.unionApprox(A.D, U, UE, SE)) {
+            Existing.D = std::move(U);
+            Existing.M = G.M;
+            for (unsigned D = 0; D != E.Augment.size(); ++D) {
+              G.DataAug[I][D][0] =
+                  std::max(G.DataAug[I][D][0], E.Augment[D][0]);
+              G.DataAug[I][D][1] =
+                  std::max(G.DataAug[I][D][1], E.Augment[D][1]);
+            }
+            return;
+          }
+        }
+        A.M = G.M;
+        G.Data.push_back(std::move(A));
+        G.DataAug.push_back(E.Augment);
+      };
+      for (int Id : G.Members)
+        addAsd(Plan.Entries[Id]);
+      // Attached entries' data must be covered by the group descriptors;
+      // widen the union to include them.
+      for (int Id : G.Attached)
+        addAsd(Plan.Entries[Id]);
+    }
+  }
+
+  /// Merges groups that finalized onto the same slot when every member of
+  /// one can join the other (same-kind, compatible mapping, size rules).
+  void mergeCoplacedGroups(CommPlan &Plan) {
+    if (Opts.Strat != Strategy::Global && Opts.Strat != Strategy::Optimal)
+      return;
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (CommGroup &G1 : Plan.Groups) {
+        if (G1.Members.empty())
+          continue;
+        for (CommGroup &G2 : Plan.Groups) {
+          if (G2.Id == G1.Id || G2.Members.empty())
+            continue;
+          if (!(G1.Placement == G2.Placement) || G1.Kind != G2.Kind)
+            continue;
+          bool AllJoin = true;
+          for (int Id : G2.Members)
+            AllJoin &= canJoinGroup(G1, Plan.Entries, Plan.Entries[Id],
+                                    G1.Placement);
+          if (!AllJoin)
+            continue;
+          for (int Id : G2.Members) {
+            G1.Members.push_back(Id);
+            Plan.Entries[Id].GroupId = G1.Id;
+          }
+          for (int Id : G2.Attached) {
+            G1.Attached.push_back(Id);
+            Plan.Entries[Id].GroupId = G1.Id;
+          }
+          for (unsigned K = 0; K != G1.M.Offsets.size(); ++K)
+            if (std::llabs(G2.M.Offsets[K]) > std::llabs(G1.M.Offsets[K]))
+              G1.M.Offsets[K] = G2.M.Offsets[K];
+          G2.Members.clear();
+          G2.Attached.clear();
+          Progress = true;
+        }
+      }
+    }
+    // Compact: drop emptied groups and renumber.
+    std::vector<CommGroup> Kept;
+    for (CommGroup &G : Plan.Groups) {
+      if (G.Members.empty())
+        continue;
+      int NewId = static_cast<int>(Kept.size());
+      for (int Id : G.Members)
+        Plan.Entries[Id].GroupId = NewId;
+      for (int Id : G.Attached)
+        Plan.Entries[Id].GroupId = NewId;
+      G.Id = NewId;
+      Kept.push_back(std::move(G));
+    }
+    Plan.Groups = std::move(Kept);
+  }
+
+  void computeStats(CommPlan &Plan) {
+    Plan.Stats = CommStats();
+    Plan.Stats.NumEntries = static_cast<int>(Plan.Entries.size());
+    for (const CommEntry &E : Plan.Entries)
+      Plan.Stats.NumEliminated += E.Eliminated;
+    for (const CommGroup &G : Plan.Groups)
+      ++Plan.Stats.NumGroups[static_cast<int>(G.Kind)];
+  }
+
+  // --- Strategy: orig (message vectorization only) -------------------------
+
+  void runOrig(CommPlan &Plan) {
+    for (CommEntry &E : Plan.Entries)
+      E.Chosen = E.LatestSlot;
+    buildGroups(Plan);
+    // No global motion: groups stay at the vectorized position.
+    for (CommGroup &G : Plan.Groups)
+      pinGroup(Plan, G);
+  }
+
+  /// Prevents finalizeGroups from moving this group: collapse the members'
+  /// original candidate lists to the chosen slot.
+  void pinGroup(CommPlan &Plan, CommGroup &G) {
+    for (int Id : G.Members)
+      Plan.Entries[Id].OriginalCandidates = {G.Placement};
+  }
+
+  // --- Strategy: nored (earliest placement + redundancy elimination) -------
+
+  void runEarliest(CommPlan &Plan) {
+    for (CommEntry &E : Plan.Entries)
+      E.Chosen = E.EarliestSlot;
+    // Classic redundancy elimination: an entry whose descriptor is covered
+    // by one placed at a dominating (or equal, lower-id) slot is dropped.
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (CommEntry &C1 : Plan.Entries) {
+        if (C1.Eliminated)
+          continue;
+        for (CommEntry &C2 : Plan.Entries) {
+          if (C2.Id == C1.Id || C2.Eliminated)
+            continue;
+          if (!Ctx.DT.slotDominates(C2.Chosen, C1.Chosen))
+            continue;
+          // Availability kill: C2's data must still be fresh at C1's use,
+          // i.e. C2 fires after the last definition interfering with C1's
+          // data — which is exactly C1's Earliest point.
+          if (!Ctx.DT.slotDominates(C1.EarliestSlot, C2.Chosen))
+            continue;
+          const Asd &A1 = asdAt(C1, slotLevel(C1.Chosen));
+          const Asd &A2 = asdAt(C2, slotLevel(C2.Chosen));
+          if (!A1.subsumedBy(A2))
+            continue;
+          // Symmetric pairs (equal descriptors at the same slot): keep the
+          // lower id.
+          if (C1.Chosen == C2.Chosen && A2.subsumedBy(A1) && C2.Id > C1.Id)
+            continue;
+          C1.Eliminated = true;
+          C1.SubsumedBy = C2.Id;
+          Progress = true;
+          break;
+        }
+      }
+    }
+    // Partial redundancy ([14]): an entry whose descriptor is only
+    // partially covered by an earlier dominating communication sends the
+    // remainder. (The global algorithm instead eliminates such entries
+    // outright by moving them later; Section 4.6.)
+    if (Opts.PartialRedundancy) {
+      // Definitions that could invalidate delivered data, with their
+      // (fully expanded) write sections.
+      std::vector<std::pair<const AssignStmt *, RegSection>> Defs;
+      Ctx.R.forEachStmt([&](Stmt *St) {
+        auto *A = dyn_cast<AssignStmt>(St);
+        if (A && !A->lhsIsScalar())
+          Defs.emplace_back(A, Ctx.sectionOfRef(A->lhs(), 0));
+      });
+      for (CommEntry &C2 : Plan.Entries) {
+        if (C2.Eliminated || C2.M.Kind == CommKind::Reduce)
+          continue;
+        for (CommEntry &C1 : Plan.Entries) {
+          if (C1.Id == C2.Id || C1.Eliminated)
+            continue;
+          if (!Ctx.DT.slotDominates(C1.Chosen, C2.Chosen))
+            continue;
+          const Asd &A1 = asdAt(C1, slotLevel(C1.Chosen));
+          const Asd &A2 = asdAt(C2, slotLevel(C2.Chosen));
+          if (A1.ArrayId != A2.ArrayId || !A2.M.subsumedBy(A1.M))
+            continue;
+          // Freshness: no definition executing after C1's communication may
+          // touch the data C1 delivered before C2's use. Conservatively,
+          // any definition not provably *before* C1's communication (its
+          // after-point dominating C1's slot) is suspect — this covers
+          // loop-carried kills and defs inside branches.
+          bool Fresh = true;
+          // A definition is provably before slot P when its after-point
+          // dominates P, or when the postexit of one of its enclosing loops
+          // does (the zero-trip edge keeps loop bodies from dominating
+          // anything after the loop).
+          auto executesBefore = [&](const AssignStmt *D, const Slot &P) {
+            if (Ctx.DT.slotDominates(Ctx.G.slotAfter(D), P))
+              return true;
+            for (int L : Ctx.G.loopNestOf(D)) {
+              Slot Post{Ctx.G.loop(L).Postexit, 0};
+              if (Ctx.DT.slotDominates(Post, P))
+                return true;
+            }
+            return false;
+          };
+          for (const auto &[D, Sec] : Defs) {
+            if (D->lhs().ArrayId != A1.ArrayId)
+              continue;
+            if (executesBefore(D, C1.Chosen))
+              continue; // Strictly before the covering communication.
+            if (Sec.mayIntersect(A1.D)) {
+              Fresh = false;
+              break;
+            }
+          }
+          if (!Fresh)
+            continue;
+          const RegSection &Cur = C2.ReducedD ? *C2.ReducedD : A2.D;
+          RegSection Rem;
+          if (Cur.difference(A1.D, Rem))
+            C2.ReducedD = std::move(Rem);
+        }
+      }
+    }
+    buildGroups(Plan);
+    for (CommGroup &G : Plan.Groups)
+      pinGroup(Plan, G);
+  }
+
+  // --- Strategy: comb (the paper's global algorithm) ------------------------
+
+  void subsetElimination(CommPlan &Plan) {
+    // CommSet(S1) subset-of CommSet(S2) -> empty CommSet(S1) (Section 4.5).
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      std::map<Slot, std::set<int>> SlotSet;
+      for (const CommEntry &E : Plan.Entries)
+        for (const Slot &S : E.Candidates)
+          SlotSet[S].insert(E.Id);
+      for (auto &[S1, Set1] : SlotSet) {
+        if (Set1.empty())
+          continue;
+        for (auto &[S2, Set2] : SlotSet) {
+          if (S1 == S2 || Set1.size() > Set2.size())
+            continue;
+          bool Subset = std::includes(Set2.begin(), Set2.end(), Set1.begin(),
+                                      Set1.end());
+          if (!Subset)
+            continue;
+          // Equal sets: empty the earlier slot (the final latest-common
+          // step recovers any flexibility given up here).
+          if (Set1.size() == Set2.size() && !slotLater(S2, S1))
+            continue;
+          for (int Id : Set1) {
+            auto &Cand = Plan.Entries[Id].Candidates;
+            Cand.erase(std::remove(Cand.begin(), Cand.end(), S1), Cand.end());
+          }
+          Set1.clear();
+          Progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  void redundancyElimination(CommPlan &Plan) {
+    // Figure 9(f), with the dominance-ordered disabling of the subsumed
+    // entry's candidates.
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      std::map<Slot, std::vector<int>> SlotSet;
+      for (const CommEntry &E : Plan.Entries)
+        if (!E.Eliminated)
+          for (const Slot &S : E.Candidates)
+            SlotSet[S].push_back(E.Id);
+
+      for (auto &[S, Ids] : SlotSet) {
+        int Level = slotLevel(S);
+        for (int I1 : Ids) {
+          CommEntry &C1 = Plan.Entries[I1];
+          if (C1.Eliminated || C1.Candidates.empty())
+            continue;
+          for (int I2 : Ids) {
+            if (I1 == I2)
+              continue;
+            CommEntry &C2 = Plan.Entries[I2];
+            if (C2.Eliminated)
+              continue;
+            const Asd &A1 = asdAt(C1, Level);
+            const Asd &A2 = asdAt(C2, Level);
+            if (!A1.subsumedBy(A2))
+              continue;
+            // Equal descriptors: deterministic victim (higher id).
+            if (A2.subsumedBy(A1) && I1 < I2)
+              continue;
+            // Never let an entry subsume its own (transitive) subsumer.
+            if (isTransitiveSubsumer(Plan, I1, I2))
+              continue;
+            // Disable C1 at S and every slot S dominates.
+            size_t BeforeSize = C1.Candidates.size();
+            auto &Cand = C1.Candidates;
+            Slot SCopy = S;
+            Cand.erase(std::remove_if(Cand.begin(), Cand.end(),
+                                      [&](const Slot &X) {
+                                        return Ctx.DT.slotDominates(SCopy, X);
+                                      }),
+                       Cand.end());
+            if (Cand.size() != BeforeSize)
+              Progress = true;
+            if (Cand.empty()) {
+              C1.Eliminated = true;
+              C1.SubsumedBy = I2;
+              // The subsumer must be placeable inside the victim's safe
+              // range: restrict it (S itself is always common).
+              restrictTo(C2, C1.OriginalCandidates);
+              // The subsumer also inherits any diagonal-phase linkage.
+              C2.DiagIds.insert(C2.DiagIds.end(), C1.DiagIds.begin(),
+                                C1.DiagIds.end());
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  /// True if \p Subsumer is transitively recorded as subsumed by \p Entry.
+  static bool isTransitiveSubsumer(const CommPlan &Plan, int Entry,
+                                   int Subsumer) {
+    int Cur = Subsumer;
+    std::set<int> Seen;
+    while (Cur >= 0 && Seen.insert(Cur).second) {
+      if (Cur == Entry)
+        return true;
+      Cur = Plan.Entries[Cur].SubsumedBy;
+    }
+    return false;
+  }
+
+  /// Intersects \p E's candidates with \p Allowed (keeps at least one slot;
+  /// callers guarantee nonempty intersection).
+  static void restrictTo(CommEntry &E, const std::vector<Slot> &Allowed) {
+    auto &Cand = E.Candidates;
+    std::vector<Slot> Kept;
+    for (const Slot &S : Cand)
+      if (std::find(Allowed.begin(), Allowed.end(), S) != Allowed.end())
+        Kept.push_back(S);
+    if (!Kept.empty())
+      Cand = std::move(Kept);
+  }
+
+  void greedyChoose(CommPlan &Plan) {
+    // Figure 9(g): most-constrained entry first; each picks the candidate
+    // where it can combine with the most other entries (ties toward the
+    // latest slot, which reduces buffer/cache contention — Section 4.7).
+    // Axis phases of one decomposed diagonal choose jointly and land on a
+    // common slot, so the overlap forwarding order of Section 2.2 holds.
+    std::map<int, std::vector<int>> Units; // DiagId -> entries.
+    std::vector<int> UnitOf(Plan.Entries.size(), -1);
+    for (const CommEntry &E : Plan.Entries) {
+      if (E.Eliminated)
+        continue;
+      for (int D : E.DiagIds) {
+        Units[D].push_back(E.Id);
+        UnitOf[E.Id] = D;
+      }
+    }
+    // Merge entries that share any DiagId into one unit (rare chains).
+    // Entries with several DiagIds keep the first as canonical.
+
+    std::vector<std::vector<int>> Work; // Units of entries to place.
+    std::vector<char> Seen(Plan.Entries.size(), 0);
+    for (const CommEntry &E : Plan.Entries) {
+      if (E.Eliminated || Seen[E.Id])
+        continue;
+      std::vector<int> Unit = {E.Id};
+      Seen[E.Id] = 1;
+      for (int D : E.DiagIds)
+        for (int Sib : Units[D])
+          if (!Seen[Sib]) {
+            Seen[Sib] = 1;
+            Unit.push_back(Sib);
+          }
+      Work.push_back(std::move(Unit));
+    }
+    std::sort(Work.begin(), Work.end(),
+              [&](const std::vector<int> &A, const std::vector<int> &B) {
+                size_t CA = Plan.Entries[A[0]].Candidates.size();
+                size_t CB = Plan.Entries[B[0]].Candidates.size();
+                return CA != CB ? CA < CB : A[0] < B[0];
+              });
+
+    auto countAt = [&](const CommEntry &E, const Slot &S) {
+      int Count = 0;
+      for (const CommEntry &O : Plan.Entries) {
+        if (O.Id == E.Id || O.Eliminated)
+          continue;
+        if (std::find(O.Candidates.begin(), O.Candidates.end(), S) ==
+            O.Candidates.end())
+          continue;
+        if (O.M.compatibleWith(E.M))
+          ++Count;
+      }
+      return Count;
+    };
+
+    for (const std::vector<int> &Unit : Work) {
+      // Common candidate slots of the unit.
+      std::vector<Slot> Common = Plan.Entries[Unit[0]].Candidates;
+      for (size_t I = 1; I < Unit.size(); ++I) {
+        const auto &Cand = Plan.Entries[Unit[I]].Candidates;
+        Common.erase(std::remove_if(Common.begin(), Common.end(),
+                                    [&](const Slot &S) {
+                                      return std::find(Cand.begin(),
+                                                       Cand.end(),
+                                                       S) == Cand.end();
+                                    }),
+                     Common.end());
+      }
+      // Subset elimination may have pruned the live sets apart; any original
+      // candidate is still a *safe* position (pruning is an optimization),
+      // so fall back to the intersection of the original ranges.
+      if (Common.empty() && Unit.size() > 1) {
+        Common = Plan.Entries[Unit[0]].OriginalCandidates;
+        for (size_t I = 1; I < Unit.size(); ++I) {
+          const auto &Cand = Plan.Entries[Unit[I]].OriginalCandidates;
+          Common.erase(std::remove_if(Common.begin(), Common.end(),
+                                      [&](const Slot &S) {
+                                        return std::find(Cand.begin(),
+                                                         Cand.end(),
+                                                         S) == Cand.end();
+                                      }),
+                       Common.end());
+        }
+      }
+      // A unit with no common slot at all degrades to independent choice
+      // (cannot happen for phases of one use, which share their range).
+      if (Common.empty()) {
+        for (int Id : Unit)
+          Common.push_back(Plan.Entries[Id].Candidates.front());
+        for (size_t I = 0; I != Unit.size(); ++I) {
+          CommEntry &E = Plan.Entries[Unit[I]];
+          E.Candidates = {Common[I]};
+          E.Chosen = Common[I];
+        }
+        continue;
+      }
+      Slot BestSlot = Common.front();
+      int BestCount = -1;
+      for (const Slot &S : Common) {
+        int Count = 0;
+        for (int Id : Unit)
+          Count += countAt(Plan.Entries[Id], S);
+        if (Count > BestCount ||
+            (Count == BestCount && slotLater(S, BestSlot))) {
+          BestCount = Count;
+          BestSlot = S;
+        }
+      }
+      for (int Id : Unit) {
+        Plan.Entries[Id].Candidates = {BestSlot};
+        Plan.Entries[Id].Chosen = BestSlot;
+      }
+    }
+  }
+
+  void runGlobal(CommPlan &Plan) {
+    subsetElimination(Plan);
+    redundancyElimination(Plan);
+    greedyChoose(Plan);
+    buildGroups(Plan);
+    // finalizeGroups (caller) applies the latest-common-position motion.
+  }
+
+  // --- Strategy: optimal (exhaustive, Section 6.1 ablation) ----------------
+
+  void runOptimal(CommPlan &Plan) {
+    // Reuse elimination phases (they are safe), then search the candidate
+    // cross-product for the placement minimizing the number of groups.
+    subsetElimination(Plan);
+    redundancyElimination(Plan);
+
+    std::vector<int> Active;
+    for (const CommEntry &E : Plan.Entries)
+      if (!E.Eliminated)
+        Active.push_back(E.Id);
+
+    double Space = 1;
+    for (int Id : Active)
+      Space *= static_cast<double>(Plan.Entries[Id].Candidates.size());
+    if (Active.size() > 16 || Space > 2e6) {
+      // Too large to enumerate: fall back to the greedy heuristic.
+      greedyChoose(Plan);
+      buildGroups(Plan);
+      return;
+    }
+
+    std::vector<Slot> Best(Active.size());
+    std::vector<Slot> Cur(Active.size());
+    int BestGroups = -1;
+
+    // Counts groups for a full assignment without materializing them.
+    auto countGroups = [&]() {
+      std::map<Slot, std::vector<int>> BySlot;
+      for (size_t I = 0; I != Active.size(); ++I)
+        BySlot[Cur[I]].push_back(Active[I]);
+      int N = 0;
+      for (auto &[S, Ids] : BySlot) {
+        std::vector<CommGroup> Groups;
+        for (int Id : Ids) {
+          CommEntry &E = Plan.Entries[Id];
+          bool Joined = false;
+          for (CommGroup &G : Groups) {
+            if (canJoinGroup(G, Plan.Entries, E, S)) {
+              G.Members.push_back(Id);
+              Joined = true;
+              break;
+            }
+          }
+          if (!Joined) {
+            CommGroup G;
+            G.Kind = E.M.Kind;
+            G.M = E.M;
+            G.Members = {Id};
+            Groups.push_back(std::move(G));
+          }
+        }
+        N += static_cast<int>(Groups.size());
+      }
+      return N;
+    };
+
+    std::function<void(size_t)> Rec = [&](size_t I) {
+      if (I == Active.size()) {
+        int N = countGroups();
+        if (BestGroups < 0 || N < BestGroups) {
+          BestGroups = N;
+          Best = Cur;
+        }
+        return;
+      }
+      for (const Slot &S : Plan.Entries[Active[I]].Candidates) {
+        Cur[I] = S;
+        Rec(I + 1);
+      }
+    };
+    Rec(0);
+
+    for (size_t I = 0; I != Active.size(); ++I) {
+      Plan.Entries[Active[I]].Chosen = Best[I];
+      Plan.Entries[Active[I]].Candidates = {Best[I]};
+    }
+    buildGroups(Plan);
+  }
+
+  const AnalysisContext &Ctx;
+  const PlacementOptions &Opts;
+  std::map<std::pair<int, int>, Asd> AsdCache;
+};
+
+} // namespace
+
+CommPlan gca::planCommunication(const AnalysisContext &Ctx,
+                                const PlacementOptions &Opts) {
+  return Placer(Ctx, Opts).run();
+}
+
+std::string CommPlan::str(const Routine &R) const {
+  std::string Out = strFormat("plan[%s]: %d entries, %d groups; %s\n",
+                              strategyName(Strat),
+                              static_cast<int>(Entries.size()),
+                              static_cast<int>(Groups.size()),
+                              Stats.str().c_str());
+  const std::vector<std::string> &Names = R.loopVarNames();
+  for (const CommGroup &G : Groups) {
+    Out += strFormat("  group %d @(B%d,%d) %s:", G.Id, G.Placement.Node,
+                     G.Placement.Index, commKindName(G.Kind));
+    for (const Asd &A : G.Data)
+      Out += " " + A.str(&Names, R.array(A.ArrayId).Name);
+    Out += strFormat("  members=%d attached=%d\n",
+                     static_cast<int>(G.Members.size()),
+                     static_cast<int>(G.Attached.size()));
+  }
+  return Out;
+}

@@ -1,0 +1,289 @@
+//===- dep/DepTest.cpp - Array dependence testing -------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dep/DepTest.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+using namespace gca;
+
+void DirConstraint::intersectSingle(int Sign) {
+  if (Sign > 0) {
+    Eq = false;
+    Gt = false;
+  } else if (Sign < 0) {
+    Lt = false;
+    Eq = false;
+  } else {
+    Lt = false;
+    Gt = false;
+  }
+}
+
+DepTester::DepTester(const Cfg &G) : G(G) {
+  const Routine &R = G.routine();
+  unsigned NumVars = static_cast<unsigned>(R.loopVarNames().size());
+  VarBounds.assign(NumVars, {0, 0});
+  VarBoundsKnown.assign(NumVars, 0);
+  VarStep.assign(NumVars, 1);
+  VarLoKnown.assign(NumVars, 0);
+  VarLo.assign(NumVars, 0);
+  for (unsigned L = 0, E = G.numLoops(); L != E; ++L) {
+    const LoopStmt *S = G.loop(static_cast<int>(L)).L;
+    VarStep[S->var()] = S->step();
+    if (S->lo().isConstant()) {
+      VarLoKnown[S->var()] = 1;
+      VarLo[S->var()] = S->lo().constValue();
+    }
+    if (S->lo().isConstant() && S->hi().isConstant()) {
+      int64_t Lo = S->lo().constValue(), Hi = S->hi().constValue();
+      if (S->step() < 0)
+        std::swap(Lo, Hi);
+      VarBounds[S->var()] = {Lo, Hi};
+      VarBoundsKnown[S->var()] = 1;
+    }
+  }
+}
+
+int DepTester::commonNestingLevel(const AssignStmt *A,
+                                  const AssignStmt *B) const {
+  const std::vector<int> &NA = G.loopNestOf(A);
+  const std::vector<int> &NB = G.loopNestOf(B);
+  unsigned N = 0;
+  while (N < NA.size() && N < NB.size() && NA[N] == NB[N])
+    ++N;
+  return static_cast<int>(N);
+}
+
+bool DepTester::constRange(const AffineExpr &E, int64_t &Min,
+                           int64_t &Max) const {
+  Min = Max = E.constPart();
+  for (int V : E.vars()) {
+    if (V >= static_cast<int>(VarBoundsKnown.size()) || !VarBoundsKnown[V])
+      return false;
+    int64_t C = E.coeff(V);
+    int64_t Lo = VarBounds[V].first, Hi = VarBounds[V].second;
+    if (C >= 0) {
+      Min += C * Lo;
+      Max += C * Hi;
+    } else {
+      Min += C * Hi;
+      Max += C * Lo;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// The lattice characterization of the values one subscript can take:
+/// { Base + k * Mod : k integer } intersected with [Min, Max] when bounds
+/// are known. Mod == 0 means the single value Base (no variables / ranges).
+/// BaseKnown is false when some variable's lower bound is not constant; the
+/// GCD screen then cannot align the two lattices.
+struct SubLattice {
+  int64_t Base = 0;
+  bool BaseKnown = true;
+  int64_t Mod = 0;
+  bool HasRange = false; // [Min, Max] below is meaningful.
+  int64_t Min = 0, Max = 0;
+};
+
+} // namespace
+
+/// Builds the lattice view of a subscript. Loop variables contribute their
+/// own stride (coeff * loop step) to the modulus and their first value
+/// (coeff * lo) to the base, which is what resolves the odd/even column
+/// split of the paper's Figure 4. \p CR evaluates constant ranges; \p VarInfo
+/// returns (step, loKnown, lo) for a loop variable.
+template <typename ConstRangeFn, typename VarInfoFn>
+static SubLattice latticeOf(const Subscript &S, ConstRangeFn CR,
+                            VarInfoFn VarInfo) {
+  SubLattice L;
+  const AffineExpr &E = S.Lo;
+  L.Base = E.constPart();
+  int64_t M = S.isRange() ? std::llabs(S.Step) : 0;
+  for (int V : E.vars()) {
+    int64_t Step, Lo;
+    bool LoKnown;
+    VarInfo(V, Step, LoKnown, Lo);
+    M = std::gcd(M, std::llabs(E.coeff(V) * Step));
+    if (LoKnown)
+      L.Base += E.coeff(V) * Lo;
+    else
+      L.BaseKnown = false;
+  }
+  // A variable upper bound (Range Hi) does not change the lattice,
+  // only the value range.
+  L.Mod = M;
+  if (S.isElem()) {
+    L.HasRange = CR(S.Lo, L.Min, L.Max);
+    return L;
+  }
+  int64_t LoMin, LoMax, HiMin, HiMax;
+  if (CR(S.Lo, LoMin, LoMax) && CR(S.Hi, HiMin, HiMax)) {
+    L.HasRange = true;
+    L.Min = std::min(LoMin, HiMin);
+    L.Max = std::max(LoMax, HiMax);
+  }
+  return L;
+}
+
+bool DepTester::directionConstraints(const AssignStmt *Def,
+                                     const AssignStmt *Use,
+                                     const ArrayRef &UseRef,
+                                     std::vector<DirConstraint> &Out) const {
+  assert(!Def->lhsIsScalar() && "array dependence against a scalar def");
+  const ArrayRef &DefRef = Def->lhs();
+  assert(DefRef.ArrayId == UseRef.ArrayId &&
+         "dependence test across different arrays");
+
+  int CNL = commonNestingLevel(Def, Use);
+  Out.assign(static_cast<size_t>(CNL), DirConstraint());
+
+  // Map: common loop level (0-based) -> loop variable id.
+  const std::vector<int> &Nest = G.loopNestOf(Def);
+  std::vector<int> LevelVar(static_cast<size_t>(CNL));
+  for (int L = 0; L != CNL; ++L)
+    LevelVar[L] = G.loop(Nest[L]).L->var();
+
+  auto CR = [this](const AffineExpr &E, int64_t &Min, int64_t &Max) {
+    return constRange(E, Min, Max);
+  };
+
+  unsigned Rank = static_cast<unsigned>(DefRef.Subs.size());
+  assert(UseRef.Subs.size() == Rank && "rank mismatch in dependence test");
+
+  for (unsigned Dim = 0; Dim != Rank; ++Dim) {
+    const Subscript &SD = DefRef.Subs[Dim];
+    const Subscript &SU = UseRef.Subs[Dim];
+
+    // Strong-SIV: both elements, identical variable parts consisting of
+    // common loop variables only -> fixed distance at the innermost level
+    // whose variable appears (classic case: single var a*i + c).
+    if (SD.isElem() && SU.isElem()) {
+      int64_t Delta;
+      if (SD.Lo.constDifference(SU.Lo, Delta)) {
+        // Same variable part. Which common level does it bind?
+        std::vector<int> Vars = SD.Lo.vars();
+        if (Vars.empty()) {
+          // ZIV: constants must match.
+          if (Delta != 0)
+            return false;
+          continue;
+        }
+        if (Vars.size() == 1) {
+          int V = Vars[0];
+          int Level = -1;
+          for (int L = 0; L != CNL; ++L)
+            if (LevelVar[L] == V)
+              Level = L;
+          if (Level >= 0) {
+            int64_t A = SD.Lo.coeff(V);
+            // a*xd + cd = a*xu + cu  =>  xu - xd = (cd - cu) / a = Delta / a.
+            if (Delta % A != 0)
+              return false; // No integer solution.
+            int64_t Dist = Delta / A; // use iter minus def iter.
+            if (!Out[Level].any())
+              return false;
+            DirConstraint C = Out[Level];
+            C.intersectSingle(Dist > 0 ? 1 : Dist < 0 ? -1 : 0);
+            if (!C.any())
+              return false; // Conflicting constraints from two dims.
+            Out[Level] = C;
+            continue;
+          }
+          // Non-common variable with equal structure: same value iff same
+          // inner iteration; unconstrained on common levels but solvable.
+          continue;
+        }
+        // Multiple variables, identical structure: conservatively
+        // unconstrained (a refined test could bind several levels).
+        continue;
+      }
+    }
+
+    // General screen via value lattices: GCD solvability and bounding boxes.
+    auto VarInfo = [this](int V, int64_t &Step, bool &LoKnown, int64_t &Lo) {
+      Step = V < static_cast<int>(VarStep.size()) ? VarStep[V] : 1;
+      LoKnown = V < static_cast<int>(VarLoKnown.size()) && VarLoKnown[V];
+      Lo = LoKnown ? VarLo[V] : 0;
+    };
+    SubLattice LD = latticeOf(SD, CR, VarInfo);
+    SubLattice LU = latticeOf(SU, CR, VarInfo);
+    if (LD.BaseKnown && LU.BaseKnown) {
+      int64_t M = std::gcd(LD.Mod, LU.Mod);
+      if (M != 0) {
+        if ((LD.Base - LU.Base) % M != 0)
+          return false; // GCD test: lattices never meet.
+      } else if (LD.Mod == 0 && LU.Mod == 0) {
+        if (LD.Base != LU.Base)
+          return false; // Two distinct constants.
+      }
+    }
+    if (LD.HasRange && LU.HasRange &&
+        (LD.Max < LU.Min || LU.Max < LD.Min))
+      return false; // Disjoint value ranges.
+    // Otherwise: dependence possible, direction unconstrained by this dim.
+  }
+  return true;
+}
+
+bool DepTester::carriedAt(const AssignStmt *Def, const AssignStmt *Use,
+                          const ArrayRef &UseRef, int Level) const {
+  assert(Level >= 1 && "carried levels are 1-based");
+  if (Level > commonNestingLevel(Def, Use))
+    return false;
+  std::vector<DirConstraint> Dirs;
+  if (!directionConstraints(Def, Use, UseRef, Dirs))
+    return false;
+  // (=, ..., =, <) prefix feasible with '<' at Level.
+  bool Carried = true;
+  for (int L = 0; L + 1 < Level; ++L)
+    Carried &= Dirs[L].Eq;
+  Carried &= Dirs[Level - 1].Lt;
+  return Carried;
+}
+
+bool DepTester::loopIndependent(const AssignStmt *Def, const AssignStmt *Use,
+                                const ArrayRef &UseRef) const {
+  if (G.preorderOf(Def) >= G.preorderOf(Use))
+    return false;
+  std::vector<DirConstraint> Dirs;
+  if (!directionConstraints(Def, Use, UseRef, Dirs))
+    return false;
+  for (const DirConstraint &D : Dirs)
+    if (!D.Eq)
+      return false;
+  return true;
+}
+
+bool DepTester::isArrayDep(const AssignStmt *Def, const AssignStmt *Use,
+                           const ArrayRef &UseRef, int Level) const {
+  assert(Level >= 1 && "IsArrayDep levels are 1-based");
+  int CNL = commonNestingLevel(Def, Use);
+  if (Level > CNL)
+    return false; // Figure 8(d): l > CNL(d, u) -> FALSE.
+
+  if (carriedAt(Def, Use, UseRef, Level))
+    return true;
+
+  // A loop-independent dependence pins communication inside the common
+  // nest (level CNL).
+  return Level == CNL && loopIndependent(Def, Use, UseRef);
+}
+
+int DepTester::depLevel(const AssignStmt *Def, const AssignStmt *Use,
+                        const ArrayRef &UseRef) const {
+  int CNL = commonNestingLevel(Def, Use);
+  for (int L = CNL; L >= 1; --L)
+    if (isArrayDep(Def, Use, UseRef, L))
+      return L;
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- driver/Compile.cpp - One-call compilation pipeline -----------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compile.h"
+
+#include "xform/Fuse.h"
+#include "xform/Scalarize.h"
+
+using namespace gca;
+
+const RoutineResult *CompileResult::find(const std::string &Name) const {
+  for (const RoutineResult &R : Routines)
+    if (R.R->name() == Name)
+      return &R;
+  return nullptr;
+}
+
+RoutineResult gca::analyzeRoutine(Routine &R, const PlacementOptions &Opts) {
+  RoutineResult Out;
+  Out.R = &R;
+  Out.Ctx = std::make_unique<AnalysisContext>(R);
+  Out.Plan = planCommunication(*Out.Ctx, Opts);
+  return Out;
+}
+
+CompileResult gca::compileSource(const std::string &Source,
+                                 const CompileOptions &Opts) {
+  CompileResult Result;
+  DiagEngine Diags;
+  Result.Prog = parseProgram(Source, Diags, Opts.Params);
+  if (Diags.hasErrors() || !Result.Prog) {
+    Result.Errors = Diags.str();
+    return Result;
+  }
+  if (Opts.Scalarize) {
+    scalarizeProgram(*Result.Prog, Diags);
+    if (Diags.hasErrors()) {
+      Result.Errors = Diags.str();
+      return Result;
+    }
+  }
+  if (Opts.FuseLoops)
+    fuseLoops(*Result.Prog);
+  for (auto &R : Result.Prog->Routines)
+    Result.Routines.push_back(analyzeRoutine(*R, Opts.Placement));
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- driver/Compile.h - One-call compilation pipeline ---------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point: parse HPF-lite text (or take a built routine),
+/// scalarize, run the analysis pipeline of Figure 6 (dataflow/dependence
+/// analysis -> communication analyzer -> placement), and return the plans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_DRIVER_COMPILE_H
+#define GCA_DRIVER_COMPILE_H
+
+#include "core/Placement.h"
+#include "frontend/Parser.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gca {
+
+struct CompileOptions {
+  PlacementOptions Placement;
+  /// Problem-size overrides for `param` declarations (how benchmarks sweep).
+  ParamMap Params;
+  /// Run the pHPF-style scalarizer before analysis (Figure 3's pipeline).
+  bool Scalarize = true;
+  /// Fuse adjacent conformable nests after scalarization (the repair the
+  /// paper's Section 2.3 notes "is not always possible"); off by default to
+  /// match the pHPF pipeline.
+  bool FuseLoops = false;
+};
+
+/// Analysis results for one routine.
+struct RoutineResult {
+  Routine *R = nullptr;
+  std::unique_ptr<AnalysisContext> Ctx;
+  CommPlan Plan;
+};
+
+/// Results for one compilation.
+struct CompileResult {
+  bool Ok = false;
+  std::string Errors;
+  std::unique_ptr<Program> Prog;
+  std::vector<RoutineResult> Routines;
+
+  /// The result for a routine by name; null when absent.
+  const RoutineResult *find(const std::string &Name) const;
+};
+
+/// Parses, scalarizes and analyzes \p Source under \p Opts.
+CompileResult compileSource(const std::string &Source,
+                            const CompileOptions &Opts);
+
+/// Analyzes one already-built (and already-scalarized) routine.
+RoutineResult analyzeRoutine(Routine &R, const PlacementOptions &Opts);
+
+} // namespace gca
+
+#endif // GCA_DRIVER_COMPILE_H

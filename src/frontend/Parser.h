@@ -1,0 +1,64 @@
+//===- frontend/Parser.h - HPF-lite parser ----------------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for HPF-lite, the small data-parallel dialect
+/// used by the workloads. The grammar (statements end at line breaks, `!` or
+/// `//` start comments):
+///
+/// \code
+///   file      := ["program" IDENT] ("param" IDENT "=" cexpr)*
+///                (routine+ | decl* "begin" stmt* "end")
+///   routine   := "routine" IDENT decl* "begin" stmt* "end"
+///   decl      := "real" IDENT ["(" dim ("," dim)* ")"]
+///                ["distribute" "(" dist ("," dist)* ")"]
+///   dim       := cexpr [":" cexpr]
+///   dist      := "block" | "cyclic" | "*"
+///   stmt      := assign | doLoop | ifStmt
+///   doLoop    := "do" IDENT "=" expr "," expr ["," cexpr]
+///                stmt* "end" "do"
+///   ifStmt    := "if" "(" cond ")" "then" stmt* ["else" stmt*] "end" "if"
+///   assign    := lvalue "=" term (("+"|"-"|"*"|"/") term)*
+///   lvalue    := IDENT ["(" sub ("," sub)* ")"]
+///   term      := "sum" "(" ref ")" | ref | IDENT | NUMBER
+///   ref       := IDENT ["(" sub ("," sub)* ")"]
+///   sub       := ":" | expr [":" expr [":" cexpr]]
+///   expr      := affine arithmetic over in-scope loop vars and params
+/// \endcode
+///
+/// Program parameters are folded to constants during parsing, so the IR that
+/// comes out has concrete array bounds and loop bounds affine in loop
+/// variables only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_FRONTEND_PARSER_H
+#define GCA_FRONTEND_PARSER_H
+
+#include "ir/Ast.h"
+#include "support/Diag.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace gca {
+
+/// Compile-time parameter bindings that override/extend `param` declarations
+/// in the source (this is how benchmarks sweep the problem size n).
+using ParamMap = std::map<std::string, int64_t>;
+
+/// Parses \p Src into a Program. Errors go to \p Diags; returns a (possibly
+/// partially populated) program, or null if nothing could be parsed.
+/// \p Overrides wins over `param` declarations with the same name.
+std::unique_ptr<Program> parseProgram(const std::string &Src,
+                                      DiagEngine &Diags,
+                                      const ParamMap &Overrides = {});
+
+} // namespace gca
+
+#endif // GCA_FRONTEND_PARSER_H

@@ -1,0 +1,94 @@
+//===- ir/AffineExpr.h - Affine index expressions ---------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine expressions over loop variables: Const + sum(Coeff_i * LoopVar_i).
+/// Program parameters (the `param n = 64` declarations of HPF-lite) are
+/// folded to constants by the frontend, so every subscript and loop bound the
+/// analyses see is affine over loop variables with integer coefficients.
+/// This mirrors the subscript model of the paper's dependence tests
+/// (Section 4.2, Figure 8(d)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_IR_AFFINEEXPR_H
+#define GCA_IR_AFFINEEXPR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gca {
+
+/// An affine integer expression Const + sum(Coeff_i * Var_i) where Var_i are
+/// loop-variable ids local to a Routine. Terms are kept sorted by variable id
+/// with no zero coefficients, so structural equality is value equality.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+
+  /// Builds the constant expression \p C.
+  static AffineExpr constant(int64_t C);
+
+  /// Builds Coeff * var(VarId).
+  static AffineExpr var(int VarId, int64_t Coeff = 1);
+
+  bool isConstant() const { return Terms.empty(); }
+
+  /// \returns the constant value; only valid when isConstant().
+  int64_t constValue() const;
+
+  /// \returns the additive constant part.
+  int64_t constPart() const { return Const; }
+
+  /// \returns the coefficient of \p VarId (0 if absent).
+  int64_t coeff(int VarId) const;
+
+  /// \returns true if \p VarId appears with a nonzero coefficient.
+  bool usesVar(int VarId) const { return coeff(VarId) != 0; }
+
+  /// \returns the ids of all variables with nonzero coefficients.
+  std::vector<int> vars() const;
+
+  /// Number of distinct variables in the expression.
+  unsigned numVars() const { return static_cast<unsigned>(Terms.size()); }
+
+  /// Evaluates under \p VarValues (indexed by variable id; ids beyond the
+  /// vector are treated as 0, which callers must not rely on for real vars).
+  int64_t eval(const std::vector<int64_t> &VarValues) const;
+
+  /// Substitutes variable \p VarId with expression \p Repl.
+  AffineExpr substitute(int VarId, const AffineExpr &Repl) const;
+
+  AffineExpr operator+(const AffineExpr &RHS) const;
+  AffineExpr operator-(const AffineExpr &RHS) const;
+  AffineExpr operator*(int64_t Scale) const;
+  AffineExpr operator+(int64_t C) const;
+  AffineExpr operator-(int64_t C) const;
+
+  bool operator==(const AffineExpr &RHS) const {
+    return Const == RHS.Const && Terms == RHS.Terms;
+  }
+
+  /// Difference check: returns true and sets \p Delta when this - RHS is a
+  /// constant (i.e. the two expressions have identical variable parts).
+  bool constDifference(const AffineExpr &RHS, int64_t &Delta) const;
+
+  /// Renders using \p VarName to map ids to names (may be null: v<id>).
+  std::string str(const std::vector<std::string> *VarNames = nullptr) const;
+
+private:
+  void addTerm(int VarId, int64_t Coeff);
+
+  int64_t Const = 0;
+  /// Sorted by variable id; no zero coefficients.
+  std::vector<std::pair<int, int64_t>> Terms;
+};
+
+} // namespace gca
+
+#endif // GCA_IR_AFFINEEXPR_H

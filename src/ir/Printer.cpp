@@ -1,0 +1,117 @@
+//===- ir/Printer.cpp - HPF-lite pretty printer ---------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/StrUtil.h"
+
+using namespace gca;
+
+static std::string printSubscript(const Routine &R, const Subscript &S) {
+  const std::vector<std::string> &Names = R.loopVarNames();
+  if (S.isElem())
+    return S.Lo.str(&Names);
+  std::string Out = S.Lo.str(&Names) + ":" + S.Hi.str(&Names);
+  if (S.Step != 1)
+    Out += strFormat(":%lld", static_cast<long long>(S.Step));
+  return Out;
+}
+
+std::string gca::printArrayRef(const Routine &R, const ArrayRef &Ref) {
+  const ArrayDecl &A = R.array(Ref.ArrayId);
+  std::vector<std::string> Subs;
+  for (const Subscript &S : Ref.Subs)
+    Subs.push_back(printSubscript(R, S));
+  return A.Name + "(" + join(Subs, ",") + ")";
+}
+
+static std::string printRhsTerm(const Routine &R, const RhsTerm &T) {
+  switch (T.K) {
+  case RhsTerm::Kind::Array:
+    return printArrayRef(R, T.Ref);
+  case RhsTerm::Kind::Scalar:
+    return R.scalar(T.ScalarId).Name;
+  case RhsTerm::Kind::Literal:
+    return strFormat("%g", T.Literal);
+  case RhsTerm::Kind::SumReduce:
+    return "sum(" + printArrayRef(R, T.Ref) + ")";
+  }
+  return "?";
+}
+
+static void printStmtInto(const Routine &R, const Stmt *S, int Indent,
+                          std::string &Out) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  switch (S->kind()) {
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    std::vector<std::string> Terms;
+    for (const RhsTerm &T : A->rhs())
+      Terms.push_back(printRhsTerm(R, T));
+    std::string Lhs = A->lhsIsScalar() ? R.scalar(A->lhsScalarId()).Name
+                                       : printArrayRef(R, A->lhs());
+    Out += Pad + Lhs + " = " + join(Terms, " + ") + "\n";
+    break;
+  }
+  case StmtKind::Loop: {
+    const auto *L = cast<LoopStmt>(S);
+    const std::vector<std::string> &Names = R.loopVarNames();
+    Out += Pad + "do " + R.loopVarName(L->var()) + " = " +
+           L->lo().str(&Names) + ", " + L->hi().str(&Names);
+    if (L->step() != 1)
+      Out += strFormat(", %lld", static_cast<long long>(L->step()));
+    Out += "\n";
+    for (const Stmt *C : L->body())
+      printStmtInto(R, C, Indent + 1, Out);
+    Out += Pad + "end do\n";
+    break;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    Out += Pad + "if (" + I->cond() + ") then\n";
+    for (const Stmt *C : I->thenBody())
+      printStmtInto(R, C, Indent + 1, Out);
+    if (!I->elseBody().empty()) {
+      Out += Pad + "else\n";
+      for (const Stmt *C : I->elseBody())
+        printStmtInto(R, C, Indent + 1, Out);
+    }
+    Out += Pad + "end if\n";
+    break;
+  }
+  }
+}
+
+std::string gca::printStmt(const Routine &R, const Stmt *S, int Indent) {
+  std::string Out;
+  printStmtInto(R, S, Indent, Out);
+  return Out;
+}
+
+std::string gca::printRoutine(const Routine &R) {
+  std::string Out = "routine " + R.name() + "\n";
+  for (const ArrayDecl &A : R.arrays()) {
+    std::vector<std::string> Dims, Dist;
+    for (unsigned D = 0, E = A.rank(); D != E; ++D) {
+      if (A.Lo[D] == 1)
+        Dims.push_back(strFormat("%lld", static_cast<long long>(A.Hi[D])));
+      else
+        Dims.push_back(strFormat("%lld:%lld", static_cast<long long>(A.Lo[D]),
+                                 static_cast<long long>(A.Hi[D])));
+      Dist.push_back(distKindName(A.Dist[D]));
+    }
+    Out += "  real " + A.Name + "(" + join(Dims, ",") + ") distribute (" +
+           join(Dist, ",") + ")\n";
+  }
+  for (const ScalarDecl &S : R.scalars())
+    Out += "  real " + S.Name + "\n";
+  Out += "begin\n";
+  for (const Stmt *S : R.body())
+    printStmtInto(R, S, 1, Out);
+  Out += "end\n";
+  return Out;
+}

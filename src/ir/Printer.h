@@ -1,0 +1,34 @@
+//===- ir/Printer.h - HPF-lite pretty printer -------------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Routine back to HPF-lite source text. Used for debugging dumps
+/// and for round-trip tests of the frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_IR_PRINTER_H
+#define GCA_IR_PRINTER_H
+
+#include "ir/Ast.h"
+
+#include <string>
+
+namespace gca {
+
+/// Renders the declarations and body of \p R as HPF-lite text.
+std::string printRoutine(const Routine &R);
+
+/// Renders one statement subtree at the given indent depth.
+std::string printStmt(const Routine &R, const Stmt *S, int Indent = 0);
+
+/// Renders an array reference, e.g. "a(i-1,1:n:2)".
+std::string printArrayRef(const Routine &R, const ArrayRef &Ref);
+
+} // namespace gca
+
+#endif // GCA_IR_PRINTER_H

@@ -1,0 +1,197 @@
+//===- lower/Schedule.cpp - Executable communication schedule -------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/Schedule.h"
+
+#include "ir/Printer.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace gca;
+
+namespace {
+
+class ScheduleBuilder {
+public:
+  ScheduleBuilder(const AnalysisContext &Ctx, const CommPlan &Plan)
+      : Ctx(Ctx), Plan(Plan) {
+    // Index groups by slot; shift groups ordered by their (first) nonzero
+    // template dim so decomposed diagonals forward corners correctly, then
+    // by id for determinism.
+    for (const CommGroup &G : Plan.Groups)
+      BySlot[G.Placement].push_back(G.Id);
+    for (auto &[S, Ids] : BySlot) {
+      std::sort(Ids.begin(), Ids.end(), [&](int A, int B) {
+        int DA = shiftDim(Plan.Groups[A]), DB = shiftDim(Plan.Groups[B]);
+        if (DA != DB)
+          return DA < DB;
+        return A < B;
+      });
+    }
+  }
+
+  std::vector<ExecAction> run() {
+    std::vector<ExecAction> Out;
+    int End = buildList(Ctx.R.body(), Ctx.G.entry(), Out);
+    fireRest(End, Out);
+    return Out;
+  }
+
+private:
+  static int shiftDim(const CommGroup &G) {
+    if (G.Kind != CommKind::Shift)
+      return 1000 + static_cast<int>(G.Kind);
+    for (unsigned K = 0; K != G.M.Offsets.size(); ++K)
+      if (G.M.Offsets[K] != 0)
+        return static_cast<int>(K);
+    return 999;
+  }
+
+  /// Emits the comm groups placed at slots (Node, NextIdx[Node]..UpTo).
+  void fireSlots(int Node, int UpTo, std::vector<ExecAction> &Out) {
+    int &Next = NextIdx[Node];
+    for (; Next <= UpTo; ++Next) {
+      auto It = BySlot.find(Slot{Node, Next});
+      if (It == BySlot.end())
+        continue;
+      for (int GId : It->second) {
+        ExecAction A;
+        A.K = ExecAction::Kind::Comm;
+        A.GroupId = GId;
+        Out.push_back(std::move(A));
+      }
+    }
+  }
+
+  void fireRest(int Node, std::vector<ExecAction> &Out) {
+    fireSlots(Node, static_cast<int>(Ctx.G.node(Node).Stmts.size()), Out);
+  }
+
+  /// Builds the action list for one AST statement list whose first basic
+  /// block is \p CurNode; returns the node where the region ends.
+  int buildList(const std::vector<Stmt *> &List, int CurNode,
+                std::vector<ExecAction> &Out) {
+    for (const Stmt *St : List) {
+      switch (St->kind()) {
+      case StmtKind::Assign: {
+        const auto *A = cast<AssignStmt>(St);
+        assert(Ctx.G.nodeOf(A) == CurNode && "statement outside its block");
+        fireSlots(CurNode, Ctx.G.indexOf(A), Out);
+        ExecAction Act;
+        Act.K = ExecAction::Kind::Stmt;
+        Act.S = A;
+        Out.push_back(std::move(Act));
+        break;
+      }
+      case StmtKind::Loop: {
+        const auto *L = cast<LoopStmt>(St);
+        fireRest(CurNode, Out);
+        const CfgLoop &Loop = Ctx.G.loop(Ctx.G.loopIdOf(L));
+        fireRest(Loop.Preheader, Out);
+
+        ExecAction Act;
+        Act.K = ExecAction::Kind::Loop;
+        Act.L = L;
+        // Header slots fire at the top of every iteration.
+        fireRest(Loop.Header, Act.Body);
+        int BodyEnd = buildList(L->body(), Loop.Header + 1, Act.Body);
+        fireRest(BodyEnd, Act.Body);
+        Out.push_back(std::move(Act));
+
+        fireRest(Loop.Postexit, Out);
+        CurNode = Loop.Postexit + 1;
+        break;
+      }
+      case StmtKind::If: {
+        const auto *I = cast<IfStmt>(St);
+        fireRest(CurNode, Out);
+        ExecAction Act;
+        Act.K = ExecAction::Kind::If;
+        Act.I = I;
+        int ThenEnd = buildList(I->thenBody(), CurNode + 1, Act.Body);
+        fireRest(ThenEnd, Act.Body);
+        int ElseEnd = buildList(I->elseBody(), ThenEnd + 1, Act.Else);
+        fireRest(ElseEnd, Act.Else);
+        Out.push_back(std::move(Act));
+        CurNode = Ctx.G.joinNodeOf(I);
+        assert(CurNode == ElseEnd + 1 && "join node out of sequence");
+        break;
+      }
+      }
+    }
+    return CurNode;
+  }
+
+  const AnalysisContext &Ctx;
+  const CommPlan &Plan;
+  std::map<Slot, std::vector<int>> BySlot;
+  std::map<int, int> NextIdx;
+};
+
+void renderActions(const AnalysisContext &Ctx, const CommPlan &Plan,
+                   const std::vector<ExecAction> &Actions, int Indent,
+                   std::string &Out) {
+  const Routine &R = Ctx.R;
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  const std::vector<std::string> &Names = R.loopVarNames();
+  for (const ExecAction &A : Actions) {
+    switch (A.K) {
+    case ExecAction::Kind::Comm: {
+      const CommGroup &G = Plan.Groups[A.GroupId];
+      Out += Pad + strFormat("COMM %s {", commKindName(G.Kind));
+      for (size_t I = 0; I != G.Data.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += G.Data[I].str(&Names, R.array(G.Data[I].ArrayId).Name);
+      }
+      Out += "}\n";
+      break;
+    }
+    case ExecAction::Kind::Stmt:
+      Out += printStmt(R, A.S, Indent);
+      break;
+    case ExecAction::Kind::Loop: {
+      Out += Pad + "do " + R.loopVarName(A.L->var()) + " = " +
+             A.L->lo().str(&Names) + ", " + A.L->hi().str(&Names);
+      if (A.L->step() != 1)
+        Out += strFormat(", %lld", static_cast<long long>(A.L->step()));
+      Out += "\n";
+      renderActions(Ctx, Plan, A.Body, Indent + 1, Out);
+      Out += Pad + "end do\n";
+      break;
+    }
+    case ExecAction::Kind::If:
+      Out += Pad + "if (" + A.I->cond() + ") then\n";
+      renderActions(Ctx, Plan, A.Body, Indent + 1, Out);
+      if (!A.Else.empty()) {
+        Out += Pad + "else\n";
+        renderActions(Ctx, Plan, A.Else, Indent + 1, Out);
+      }
+      Out += Pad + "end if\n";
+      break;
+    }
+  }
+}
+
+} // namespace
+
+ExecProgram ExecProgram::build(const AnalysisContext &Ctx,
+                               const CommPlan &Plan) {
+  ExecProgram P;
+  P.Actions = ScheduleBuilder(Ctx, Plan).run();
+  return P;
+}
+
+std::string ExecProgram::listing(const AnalysisContext &Ctx,
+                                 const CommPlan &Plan) const {
+  std::string Out;
+  renderActions(Ctx, Plan, Actions, 0, Out);
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- lower/Schedule.h - Executable communication schedule -----*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a routine plus its communication plan into an *execution program*:
+/// a structured action tree (statements, loops, branches) with communication
+/// group firings spliced in at their placement slots. Both the cluster cost
+/// simulator and the data-provenance verifier interpret this tree, and the
+/// SPMD listing printer renders it the way the paper's Figure 2 presents
+/// schedules (COMM lines between statements).
+///
+/// Within one slot, shift groups fire in ascending template-dimension order
+/// so the overlap regions of earlier phases are available for the corner
+/// forwarding of decomposed diagonal shifts (Section 2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_LOWER_SCHEDULE_H
+#define GCA_LOWER_SCHEDULE_H
+
+#include "core/CommEntry.h"
+#include "core/Context.h"
+
+#include <string>
+#include <vector>
+
+namespace gca {
+
+struct ExecAction {
+  enum class Kind : uint8_t { Comm, Stmt, Loop, If } K = Kind::Stmt;
+  int GroupId = -1;                 ///< Comm.
+  const AssignStmt *S = nullptr;    ///< Stmt.
+  const LoopStmt *L = nullptr;      ///< Loop.
+  const IfStmt *I = nullptr;        ///< If.
+  std::vector<ExecAction> Body;     ///< Loop body / If then-branch.
+  std::vector<ExecAction> Else;     ///< If else-branch.
+};
+
+/// The lowered routine: action tree with communication spliced in.
+class ExecProgram {
+public:
+  static ExecProgram build(const AnalysisContext &Ctx, const CommPlan &Plan);
+
+  const std::vector<ExecAction> &actions() const { return Actions; }
+
+  /// SPMD-style listing with COMM annotations, for debugging and docs.
+  std::string listing(const AnalysisContext &Ctx, const CommPlan &Plan) const;
+
+private:
+  std::vector<ExecAction> Actions;
+};
+
+} // namespace gca
+
+#endif // GCA_LOWER_SCHEDULE_H

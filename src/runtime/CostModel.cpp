@@ -1,0 +1,135 @@
+//===- runtime/CostModel.cpp - Communication cost model -------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CostModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+using namespace gca;
+
+/// Per-processor bytes of the boundary slab a shift moves for one section.
+static double shiftSlabBytes(const ArrayDecl &A, const ProcGrid &G,
+                             const std::vector<DimRange> &Sec,
+                             const Mapping &M) {
+  // Per-dimension share of the section held by one processor, with the
+  // shifted dimension contributing the overlap width instead.
+  double Bytes = static_cast<double>(A.ElemBytes);
+  const std::vector<unsigned> &DistDims = G.distDims();
+  std::vector<char> IsDist(A.rank(), 0);
+  for (unsigned K = 0; K != DistDims.size(); ++K)
+    IsDist[DistDims[K]] = 1;
+
+  for (unsigned D = 0; D != A.rank(); ++D) {
+    double Count = static_cast<double>(std::max<int64_t>(0, Sec[D].count()));
+    if (!IsDist[D]) {
+      Bytes *= Count;
+      continue;
+    }
+    // Find this dim's template index.
+    unsigned K = 0;
+    while (DistDims[K] != D)
+      ++K;
+    int64_t Off = M.Offsets.empty() ? 0 : M.Offsets[K];
+    if (Off != 0) {
+      Bytes *= static_cast<double>(std::llabs(Off));
+    } else {
+      Bytes *= std::min(Count, std::ceil(Count / G.dim(K).Procs));
+    }
+  }
+  return Bytes;
+}
+
+CommCost gca::groupCost(const AnalysisContext &Ctx, const CommGroup &G,
+                        const MachineProfile &M, int NumProcs,
+                        const std::vector<int64_t> &Env) {
+  CommCost C;
+  switch (G.Kind) {
+  case CommKind::Local:
+    return C;
+
+  case CommKind::Shift: {
+    // One neighbour exchange: every processor sends one message and
+    // receives one; sections are strided, so both ends pay pack costs.
+    double Bytes = 0;
+    for (const Asd &A : G.Data) {
+      const ArrayDecl &Decl = Ctx.R.array(A.ArrayId);
+      ProcGrid Grid = ProcGrid::forArray(Decl, NumProcs);
+      Bytes += shiftSlabBytes(Decl, Grid, A.D.concretize(Env), A.M);
+    }
+    C.Bytes = Bytes;
+    C.Messages = 1;
+    C.Time = M.messageTime(Bytes) + 2 * M.packTime(Bytes);
+    return C;
+  }
+
+  case CommKind::Reduce: {
+    // Combined reductions carry one value per member (Section 6.2); the
+    // combine runs log2(procs over the reduced dims) stages and the result
+    // is replicated with a broadcast tree of the same depth.
+    double Values = static_cast<double>(G.Members.size() + G.Attached.size());
+    double Bytes = 8.0 * std::max(1.0, Values);
+    int ReduceProcs = NumProcs;
+    if (!G.Data.empty()) {
+      const ArrayDecl &Decl = Ctx.R.array(G.Data[0].ArrayId);
+      ProcGrid Grid = ProcGrid::forArray(Decl, NumProcs);
+      ReduceProcs = 1;
+      for (unsigned K = 0; K != G.M.ReduceDims.size() && K < Grid.rank(); ++K)
+        if (G.M.ReduceDims[K])
+          ReduceProcs *= Grid.dim(K).Procs;
+      ReduceProcs = std::max(1, ReduceProcs);
+    }
+    double Stages =
+        std::ceil(std::log2(std::max(2, ReduceProcs))) * 2.0; // Combine+bcast.
+    C.Bytes = Bytes * Stages;
+    C.Messages = Stages;
+    C.Time = Stages * M.messageTime(Bytes);
+    return C;
+  }
+
+  case CommKind::Bcast: {
+    double Bytes = 0;
+    for (const Asd &A : G.Data) {
+      const ArrayDecl &Decl = Ctx.R.array(A.ArrayId);
+      std::vector<DimRange> Sec = A.D.concretize(Env);
+      double Elems = 1;
+      for (const DimRange &R : Sec)
+        Elems *= static_cast<double>(std::max<int64_t>(0, R.count()));
+      Bytes += Elems * static_cast<double>(Decl.ElemBytes);
+    }
+    double Stages = std::ceil(std::log2(std::max(2, NumProcs)));
+    C.Bytes = Bytes;
+    C.Messages = Stages;
+    C.Time = Stages * (M.messageTime(Bytes) + M.packTime(Bytes));
+    return C;
+  }
+
+  case CommKind::General: {
+    // Unstructured many-to-many: every processor exchanges with every
+    // other; data splits evenly.
+    double Bytes = 0;
+    for (const Asd &A : G.Data) {
+      const ArrayDecl &Decl = Ctx.R.array(A.ArrayId);
+      std::vector<DimRange> Sec = A.D.concretize(Env);
+      double Elems = 1;
+      for (const DimRange &R : Sec)
+        Elems *= static_cast<double>(std::max<int64_t>(0, R.count()));
+      Bytes += Elems * static_cast<double>(Decl.ElemBytes);
+    }
+    double PerProc = Bytes / std::max(1, NumProcs);
+    C.Bytes = PerProc * 2;
+    C.Messages = NumProcs - 1;
+    C.Time = (NumProcs - 1) * (M.SendOverhead + M.RecvOverhead) +
+             PerProc / M.netBandwidth(PerProc / std::max(1, NumProcs - 1)) +
+             2 * M.packTime(PerProc);
+    return C;
+  }
+  }
+  return C;
+}

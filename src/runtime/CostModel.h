@@ -1,0 +1,43 @@
+//===- runtime/CostModel.h - Communication cost model -----------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bulk-synchronous communication cost model of Section 6.1: the cost of
+/// a pattern to one processor is (startup x number of partners) plus the
+/// volume it sends/receives over the size-dependent bandwidth, plus the
+/// bcopy cost of packing/unpacking non-contiguous sections (the 20 KB story
+/// of Section 3); the cost of the pattern is the maximum over processors,
+/// and costs of patterns add up (overlap disabled, as in the measurements).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_RUNTIME_COSTMODEL_H
+#define GCA_RUNTIME_COSTMODEL_H
+
+#include "core/CommEntry.h"
+#include "core/Context.h"
+#include "runtime/Grid.h"
+#include "runtime/Machine.h"
+
+namespace gca {
+
+/// Cost of one execution of one communication group.
+struct CommCost {
+  double Time = 0;     ///< Seconds (max over processors).
+  double Bytes = 0;    ///< Bytes moved per processor.
+  double Messages = 0; ///< Messages per processor.
+};
+
+/// Computes the cost of firing \p G once under the loop-variable values
+/// \p Env (outer loop indices the group's sections may reference).
+CommCost groupCost(const AnalysisContext &Ctx, const CommGroup &G,
+                   const MachineProfile &M, int NumProcs,
+                   const std::vector<int64_t> &Env);
+
+} // namespace gca
+
+#endif // GCA_RUNTIME_COSTMODEL_H

@@ -1,0 +1,100 @@
+//===- runtime/Grid.cpp - Processor grids and block ownership -------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Grid.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gca;
+
+int DimMap::ownerOf(int64_t Idx) const {
+  int64_t Off = Idx - Lo;
+  if (Off < 0)
+    Off = 0;
+  if (Off >= Extent)
+    Off = Extent - 1;
+  if (Kind == DistKind::Cyclic)
+    return static_cast<int>(Off % Procs);
+  int Owner = static_cast<int>(Off / Block);
+  return std::min(Owner, Procs - 1);
+}
+
+void DimMap::ownedRange(int Coord, int64_t &OutLo, int64_t &OutHi) const {
+  assert(Kind == DistKind::Block && "ownedRange is BLOCK-only");
+  OutLo = Lo + static_cast<int64_t>(Coord) * Block;
+  OutHi = std::min(Lo + Extent - 1,
+                   Lo + static_cast<int64_t>(Coord + 1) * Block - 1);
+}
+
+std::vector<int> ProcGrid::factorize(int P, unsigned Rank) {
+  std::vector<int> Dims(std::max(1u, Rank), 1);
+  if (Rank == 0)
+    return Dims;
+  // Greedy: repeatedly pull the largest prime factor into the dim with the
+  // smallest current product, largest factors first.
+  std::vector<int> Factors;
+  int N = P;
+  for (int F = 2; F * F <= N; ++F)
+    while (N % F == 0) {
+      Factors.push_back(F);
+      N /= F;
+    }
+  if (N > 1)
+    Factors.push_back(N);
+  std::sort(Factors.rbegin(), Factors.rend());
+  for (int F : Factors) {
+    auto Min = std::min_element(Dims.begin(), Dims.end());
+    *Min *= F;
+  }
+  // Deterministic orientation: largest dim first.
+  std::sort(Dims.rbegin(), Dims.rend());
+  return Dims;
+}
+
+ProcGrid ProcGrid::forArray(const ArrayDecl &A, int P) {
+  ProcGrid G;
+  G.P = P;
+  for (unsigned D = 0, E = A.rank(); D != E; ++D)
+    if (A.Dist[D] != DistKind::Star)
+      G.DistDims.push_back(D);
+  std::vector<int> Factors = factorize(P, static_cast<unsigned>(G.DistDims.size()));
+  for (unsigned K = 0; K != G.DistDims.size(); ++K) {
+    unsigned D = G.DistDims[K];
+    DimMap M;
+    M.Lo = A.Lo[D];
+    M.Extent = A.extent(D);
+    M.Procs = Factors[K];
+    M.Kind = A.Dist[D];
+    M.Block = (M.Extent + M.Procs - 1) / M.Procs;
+    G.Dims.push_back(M);
+  }
+  return G;
+}
+
+int ProcGrid::linearize(const std::vector<int> &Coords) const {
+  int Id = 0;
+  for (unsigned K = 0; K != Dims.size(); ++K)
+    Id = Id * Dims[K].Procs + Coords[K];
+  return Id;
+}
+
+std::vector<int> ProcGrid::coordsOf(int Proc) const {
+  std::vector<int> Coords(Dims.size(), 0);
+  for (unsigned K = Dims.size(); K-- > 0;) {
+    Coords[K] = Proc % Dims[K].Procs;
+    Proc /= Dims[K].Procs;
+  }
+  return Coords;
+}
+
+int ProcGrid::ownerOfElement(const std::vector<int64_t> &Index) const {
+  std::vector<int> Coords(Dims.size(), 0);
+  for (unsigned K = 0; K != Dims.size(); ++K)
+    Coords[K] = Dims[K].ownerOf(Index[DistDims[K]]);
+  return linearize(Coords);
+}

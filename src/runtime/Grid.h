@@ -1,0 +1,74 @@
+//===- runtime/Grid.h - Processor grids and block ownership -----*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Processor grids for distributed arrays: P processors are factorized into
+/// a grid matching the rank of an array's template signature (e.g. 25 -> 5x5
+/// for the paper's SP2 runs, 8 -> 4x2 for the NOW runs), and BLOCK/CYCLIC
+/// ownership is computed per dimension. Processor identities are linear ids
+/// shared across all grids of one simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_RUNTIME_GRID_H
+#define GCA_RUNTIME_GRID_H
+
+#include "ir/Ast.h"
+
+#include <vector>
+
+namespace gca {
+
+/// One per-dimension block mapping.
+struct DimMap {
+  int64_t Lo = 1;      ///< Declared lower bound.
+  int64_t Extent = 1;  ///< Declared extent.
+  int Procs = 1;       ///< Processors along this template dim.
+  DistKind Kind = DistKind::Block;
+  int64_t Block = 1;   ///< Block size (BLOCK distribution).
+
+  /// Owning processor coordinate of global index \p Idx.
+  int ownerOf(int64_t Idx) const;
+  /// The owned index range of processor coordinate \p Coord (BLOCK only);
+  /// empty range for out-of-range coordinates.
+  void ownedRange(int Coord, int64_t &OutLo, int64_t &OutHi) const;
+};
+
+/// The grid an array (template signature) maps onto.
+class ProcGrid {
+public:
+  /// Balanced factorization of \p P over \p Rank dims.
+  static std::vector<int> factorize(int P, unsigned Rank);
+
+  /// Builds the grid for one declared array under \p P processors.
+  static ProcGrid forArray(const ArrayDecl &A, int P);
+
+  int numProcs() const { return P; }
+  unsigned rank() const { return static_cast<unsigned>(Dims.size()); }
+  const DimMap &dim(unsigned D) const { return Dims[D]; }
+
+  /// Maps per-template-dim coordinates to the linear processor id.
+  int linearize(const std::vector<int> &Coords) const;
+  /// Inverse of linearize.
+  std::vector<int> coordsOf(int Proc) const;
+
+  /// Owning linear processor of an element (indices per array dim). Array
+  /// dims with Star distribution are ignored.
+  int ownerOfElement(const std::vector<int64_t> &Index) const;
+
+  /// Which array dim each template dim corresponds to.
+  const std::vector<unsigned> &distDims() const { return DistDims; }
+
+private:
+  int P = 1;
+  std::vector<DimMap> Dims;        ///< Per template dim.
+  std::vector<unsigned> DistDims;  ///< Template dim -> array dim.
+};
+
+} // namespace gca
+
+#endif // GCA_RUNTIME_GRID_H

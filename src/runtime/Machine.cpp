@@ -1,0 +1,79 @@
+//===- runtime/Machine.cpp - Machine performance profiles -----------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace gca;
+
+double MachineProfile::netBandwidth(double S) const {
+  if (S <= 0)
+    return PeakBandwidth;
+  return PeakBandwidth * S / (S + HalfSizeBytes);
+}
+
+double MachineProfile::injectBandwidth(double S) const {
+  if (S <= 0)
+    return InjectPeak;
+  return InjectPeak * S / (S + InjectHalf);
+}
+
+double MachineProfile::bcopyBandwidth(double Bytes) const {
+  if (Bytes <= CacheBytes)
+    return BcopyCachePeak;
+  // Smooth knee: cache-resident prefix at cache speed, remainder at DRAM
+  // speed.
+  double CacheFrac = CacheBytes / Bytes;
+  return 1.0 / (CacheFrac / BcopyCachePeak +
+                (1.0 - CacheFrac) / BcopyDramPeak);
+}
+
+double MachineProfile::messageTime(double Bytes) const {
+  if (Bytes <= 0)
+    return SendOverhead + RecvOverhead;
+  return SendOverhead + RecvOverhead + Bytes / netBandwidth(Bytes);
+}
+
+double MachineProfile::packTime(double Bytes) const {
+  if (Bytes <= 0)
+    return 0;
+  return Bytes / bcopyBandwidth(Bytes);
+}
+
+MachineProfile MachineProfile::sp2() {
+  MachineProfile M;
+  M.Name = "SP2";
+  M.SendOverhead = 23e-6;
+  M.RecvOverhead = 23e-6;
+  M.PeakBandwidth = 35e6;
+  M.HalfSizeBytes = 3500;
+  M.InjectPeak = 48e6;
+  M.InjectHalf = 2000;
+  M.CacheBytes = 128 * 1024;
+  M.BcopyCachePeak = 420e6;
+  M.BcopyDramPeak = 72e6; // "barely twice message bandwidth beyond cache".
+  M.FlopTime = 16e-9;     // POWER2 66 MHz, sustained on stencil codes.
+  return M;
+}
+
+MachineProfile MachineProfile::now() {
+  MachineProfile M;
+  M.Name = "NOW";
+  M.SendOverhead = 60e-6; // MPICH over Myrinet, per the Figure 5 curves.
+  M.RecvOverhead = 55e-6;
+  M.PeakBandwidth = 17e6;
+  M.HalfSizeBytes = 6000;
+  M.InjectPeak = 22e6;
+  M.InjectHalf = 4000;
+  M.CacheBytes = 512 * 1024; // SPARCstation external cache.
+  M.BcopyCachePeak = 180e6;
+  M.BcopyDramPeak = 45e6;
+  M.FlopTime = 28e-9; // SuperSPARC-class sustained.
+  return M;
+}

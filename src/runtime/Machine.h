@@ -1,0 +1,76 @@
+//===- runtime/Machine.h - Machine performance profiles ---------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Performance profiles of the paper's two platforms — the IBM SP2 (MPL over
+/// the SP2 high-performance switch) and the Berkeley NOW (SPARCstations,
+/// Myrinet, MPICH) — expressed as the curves the paper profiles in Figure 5:
+/// network bandwidth as a saturating function of message size, sender
+/// injection bandwidth, and local bcopy bandwidth with a cache knee. The
+/// numbers are calibrated to the qualitative facts the paper reports: large
+/// per-message startup ("astronomical"), most startup amortization achieved
+/// at sizes well below the cache limit, bcopy barely twice message bandwidth
+/// beyond cache size on the SP2, and the SP2 having lower overhead and
+/// higher bandwidth than the NOW.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_RUNTIME_MACHINE_H
+#define GCA_RUNTIME_MACHINE_H
+
+#include <string>
+
+namespace gca {
+
+struct MachineProfile {
+  std::string Name;
+
+  // Per-message costs (seconds).
+  double SendOverhead = 25e-6;
+  double RecvOverhead = 25e-6;
+
+  // Network bandwidth: bw(s) = PeakBandwidth * s / (s + HalfSizeBytes).
+  double PeakBandwidth = 35e6;   ///< Bytes/second, asymptotic.
+  double HalfSizeBytes = 4096;   ///< Message size achieving half of peak.
+
+  // Sender injection (the middle curve of Figure 5): lower than bcopy,
+  // can exceed receive bandwidth for some sizes.
+  double InjectPeak = 45e6;
+  double InjectHalf = 2048;
+
+  // Local memory copy with a cache knee (the top curve of Figure 5).
+  double CacheBytes = 128 * 1024;
+  double BcopyCachePeak = 400e6; ///< In-cache copy bandwidth.
+  double BcopyDramPeak = 70e6;   ///< Beyond-cache copy bandwidth.
+
+  // Computation.
+  double FlopTime = 18e-9; ///< Seconds per (double) flop, sustained.
+
+  /// Receiver-observed network bandwidth for an \p S byte message.
+  double netBandwidth(double S) const;
+  /// Sender injection bandwidth for an \p S byte message.
+  double injectBandwidth(double S) const;
+  /// bcopy bandwidth when streaming a buffer of \p Bytes.
+  double bcopyBandwidth(double Bytes) const;
+
+  /// End-to-end time of one message of \p Bytes (both endpoints busy;
+  /// bulk-synchronous model, overlap disabled as in the paper's runs).
+  double messageTime(double Bytes) const;
+
+  /// Time to pack/unpack \p Bytes of non-contiguous section data through
+  /// a buffer of the same size (charged on both ends).
+  double packTime(double Bytes) const;
+
+  /// IBM SP2 with MPL (Stunkel et al. / Snir et al. as cited in the paper).
+  static MachineProfile sp2();
+  /// Berkeley NOW: SPARCstations on Myrinet with MPICH (Keeton et al.).
+  static MachineProfile now();
+};
+
+} // namespace gca
+
+#endif // GCA_RUNTIME_MACHINE_H

@@ -1,0 +1,139 @@
+//===- runtime/Simulate.cpp - Bulk-synchronous cost simulator -------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Simulate.h"
+
+#include "runtime/CostModel.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace gca;
+
+namespace {
+
+class Simulator {
+public:
+  Simulator(const AnalysisContext &Ctx, const CommPlan &Plan,
+            const MachineProfile &M, int NumProcs)
+      : Ctx(Ctx), Plan(Plan), M(M), NumProcs(NumProcs),
+        Env(Ctx.R.loopVarNames().size(), 0) {}
+
+  SimResult run(const ExecProgram &Prog) {
+    return costList(Prog.actions());
+  }
+
+private:
+  static void accumulate(SimResult &Into, const SimResult &Delta,
+                         double Times = 1.0) {
+    Into.TotalTime += Delta.TotalTime * Times;
+    Into.CommTime += Delta.CommTime * Times;
+    Into.ComputeTime += Delta.ComputeTime * Times;
+    Into.CommBytes += Delta.CommBytes * Times;
+    Into.CommOps += Delta.CommOps * Times;
+  }
+
+  static bool nearlyEqual(const SimResult &A, const SimResult &B) {
+    auto Eq = [](double X, double Y) {
+      double Scale = std::max({std::fabs(X), std::fabs(Y), 1e-30});
+      return std::fabs(X - Y) <= 1e-9 * Scale;
+    };
+    return Eq(A.TotalTime, B.TotalTime) && Eq(A.CommTime, B.CommTime) &&
+           Eq(A.ComputeTime, B.ComputeTime);
+  }
+
+  SimResult costList(const std::vector<ExecAction> &Actions) {
+    SimResult R;
+    for (const ExecAction &A : Actions)
+      accumulate(R, costAction(A));
+    return R;
+  }
+
+  SimResult costAction(const ExecAction &A) {
+    SimResult R;
+    switch (A.K) {
+    case ExecAction::Kind::Comm: {
+      CommCost C = groupCost(Ctx, Plan.Groups[A.GroupId], M, NumProcs, Env);
+      R.CommTime = C.Time;
+      R.TotalTime = C.Time;
+      R.CommBytes = C.Bytes;
+      R.CommOps = C.Messages > 0 ? 1 : 0;
+      return R;
+    }
+    case ExecAction::Kind::Stmt: {
+      const AssignStmt *S = A.S;
+      // The workloads elide operations (each RHS is a list of references,
+      // as in the paper's own simplified forms); the real codes perform
+      // roughly three floating-point operations per reference plus loop
+      // overhead, so scale the per-statement work accordingly.
+      double Flops = 3.0 * std::max(1, S->numOps()) + 2.0;
+      double T = Flops * M.FlopTime;
+      // Owner-computes: element statements divide across processors; a
+      // (replicated) scalar statement runs everywhere.
+      if (!S->lhsIsScalar())
+        T /= NumProcs;
+      // Reduction partial sums scan their whole section locally.
+      for (const RhsTerm &Term : S->rhs()) {
+        if (Term.K != RhsTerm::Kind::SumReduce)
+          continue;
+        double Elems = 1;
+        for (const DimRange &D :
+             Ctx.sectionOfRef(Term.Ref, 1000).concretize(Env))
+          Elems *= static_cast<double>(std::max<int64_t>(0, D.count()));
+        T += Elems * M.FlopTime / NumProcs;
+      }
+      R.ComputeTime = T;
+      R.TotalTime = T;
+      return R;
+    }
+    case ExecAction::Kind::Loop: {
+      const LoopStmt *L = A.L;
+      int64_t Lo = L->lo().eval(Env), Hi = L->hi().eval(Env);
+      int64_t Step = L->step();
+      int64_t Trips = Step > 0 ? (Hi - Lo >= 0 ? (Hi - Lo) / Step + 1 : 0)
+                               : (Lo - Hi >= 0 ? (Lo - Hi) / (-Step) + 1 : 0);
+      if (Trips <= 0)
+        return R;
+      // Rectangularity probe: identical costs at the first and last
+      // iteration mean the body cost is iteration-independent.
+      Env[L->var()] = Lo;
+      SimResult First = costList(A.Body);
+      Env[L->var()] = Lo + (Trips - 1) * Step;
+      SimResult Last = costList(A.Body);
+      if (Trips <= 2 || nearlyEqual(First, Last)) {
+        accumulate(R, First, static_cast<double>(Trips));
+        return R;
+      }
+      for (int64_t T = 0; T != Trips; ++T) {
+        Env[L->var()] = Lo + T * Step;
+        accumulate(R, costList(A.Body));
+      }
+      return R;
+    }
+    case ExecAction::Kind::If: {
+      // Cost the taken branch; the then-branch by convention (the paper's
+      // codes use structurally symmetric branches).
+      return costList(A.Body.empty() ? A.Else : A.Body);
+    }
+    }
+    return R;
+  }
+
+  const AnalysisContext &Ctx;
+  const CommPlan &Plan;
+  const MachineProfile &M;
+  int NumProcs;
+  std::vector<int64_t> Env;
+};
+
+} // namespace
+
+SimResult gca::simulate(const AnalysisContext &Ctx, const CommPlan &Plan,
+                        const ExecProgram &Prog, const MachineProfile &M,
+                        int NumProcs) {
+  return Simulator(Ctx, Plan, M, NumProcs).run(Prog);
+}

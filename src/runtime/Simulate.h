@@ -1,0 +1,45 @@
+//===- runtime/Simulate.h - Bulk-synchronous cost simulator -----*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a lowered schedule under a machine profile and produces the
+/// quantities the paper's Figure 10 charts plot: total running time split
+/// into computation and network cost, with communication counted per
+/// processor in the bulk-synchronous model (overlap disabled, exactly as the
+/// paper measured). Rectangular loops are costed once and multiplied by
+/// their trip count; non-rectangular ones are iterated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_RUNTIME_SIMULATE_H
+#define GCA_RUNTIME_SIMULATE_H
+
+#include "lower/Schedule.h"
+#include "runtime/Machine.h"
+
+namespace gca {
+
+struct SimResult {
+  double TotalTime = 0;
+  double CommTime = 0;
+  double ComputeTime = 0;
+  double CommBytes = 0;   ///< Per-processor bytes moved.
+  double CommOps = 0;     ///< Communication operations executed (dynamic).
+
+  double commFraction() const {
+    return TotalTime > 0 ? CommTime / TotalTime : 0;
+  }
+};
+
+/// Simulates one execution of the routine on \p NumProcs processors.
+SimResult simulate(const AnalysisContext &Ctx, const CommPlan &Plan,
+                   const ExecProgram &Prog, const MachineProfile &M,
+                   int NumProcs);
+
+} // namespace gca
+
+#endif // GCA_RUNTIME_SIMULATE_H

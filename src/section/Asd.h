@@ -1,0 +1,48 @@
+//===- section/Asd.h - Available Section Descriptors ------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Available Section Descriptor of Section 4.6: a pair (D, M) where D is
+/// the array section being communicated and M maps data to the receiving
+/// processors. "(D1, M1) is made redundant by (D2, M2) if D1 is contained in
+/// D2 and M1(D1) is contained in M2(D1)."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SECTION_ASD_H
+#define GCA_SECTION_ASD_H
+
+#include "section/Mapping.h"
+#include "section/Section.h"
+
+namespace gca {
+
+struct Asd {
+  int ArrayId = -1;
+  RegSection D;
+  Mapping M;
+
+  /// The redundancy test of Section 4.6.
+  bool subsumedBy(const Asd &Other) const {
+    return ArrayId == Other.ArrayId && D.containedIn(Other.D) &&
+           M.subsumedBy(Other.M);
+  }
+
+  bool operator==(const Asd &RHS) const {
+    return ArrayId == RHS.ArrayId && D == RHS.D && M == RHS.M;
+  }
+
+  std::string str(const std::vector<std::string> *VarNames = nullptr,
+                  const std::string &ArrayName = "") const {
+    return (ArrayName.empty() ? "" : ArrayName) + D.str(VarNames) + " " +
+           M.str();
+  }
+};
+
+} // namespace gca
+
+#endif // GCA_SECTION_ASD_H

@@ -1,0 +1,151 @@
+//===- section/Mapping.cpp - Communication mapping functions --------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "section/Mapping.h"
+
+#include "support/StrUtil.h"
+
+#include <cstdlib>
+
+#include <cassert>
+
+using namespace gca;
+
+const char *gca::commKindName(CommKind Kind) {
+  switch (Kind) {
+  case CommKind::Local:
+    return "LOCAL";
+  case CommKind::Shift:
+    return "NNC";
+  case CommKind::Reduce:
+    return "SUM";
+  case CommKind::Bcast:
+    return "BCAST";
+  case CommKind::General:
+    return "GEN";
+  }
+  return "?";
+}
+
+Mapping Mapping::shift(TemplateSig Sig, std::vector<int64_t> Offsets) {
+  assert(Sig.rank() == Offsets.size() && "offset per template dim required");
+  Mapping M;
+  M.Kind = CommKind::Shift;
+  M.Sig = std::move(Sig);
+  M.Offsets = std::move(Offsets);
+  return M;
+}
+
+Mapping Mapping::reduce(TemplateSig Sig, std::vector<uint8_t> ReduceDims) {
+  assert(Sig.rank() == ReduceDims.size() && "flag per template dim required");
+  Mapping M;
+  M.Kind = CommKind::Reduce;
+  M.Sig = std::move(Sig);
+  M.ReduceDims = std::move(ReduceDims);
+  return M;
+}
+
+Mapping Mapping::bcast(TemplateSig Sig, int Dim, int64_t Pos) {
+  Mapping M;
+  M.Kind = CommKind::Bcast;
+  M.Sig = std::move(Sig);
+  M.BcastDim = Dim;
+  M.BcastPos = Pos;
+  return M;
+}
+
+Mapping Mapping::general(TemplateSig Sig) {
+  Mapping M;
+  M.Kind = CommKind::General;
+  M.Sig = std::move(Sig);
+  return M;
+}
+
+bool Mapping::operator==(const Mapping &RHS) const {
+  return Kind == RHS.Kind && Sig == RHS.Sig && Offsets == RHS.Offsets &&
+         ReduceDims == RHS.ReduceDims && BcastDim == RHS.BcastDim &&
+         BcastPos == RHS.BcastPos;
+}
+
+/// Sign of an offset, used for the sender-receiver relation of shifts.
+static int signOf(int64_t V) { return V > 0 ? 1 : V < 0 ? -1 : 0; }
+
+bool Mapping::subsumedBy(const Mapping &Other) const {
+  if (Kind != Other.Kind || !(Sig == Other.Sig))
+    return false;
+  switch (Kind) {
+  case CommKind::Local:
+    return true;
+  case CommKind::Shift:
+    // Same directions, and Other's overlap region reaches at least as far.
+    for (unsigned D = 0, E = Sig.rank(); D != E; ++D) {
+      if (signOf(Offsets[D]) != signOf(Other.Offsets[D]))
+        return false;
+      if (std::llabs(Offsets[D]) > std::llabs(Other.Offsets[D]))
+        return false;
+    }
+    return true;
+  case CommKind::Reduce:
+    return ReduceDims == Other.ReduceDims;
+  case CommKind::Bcast:
+    return BcastDim == Other.BcastDim && BcastPos == Other.BcastPos;
+  case CommKind::General:
+    return false; // Conservative: never assume an unstructured superset.
+  }
+  return false;
+}
+
+bool Mapping::compatibleWith(const Mapping &Other) const {
+  if (Kind != Other.Kind || !(Sig == Other.Sig))
+    return false;
+  switch (Kind) {
+  case CommKind::Local:
+    return true;
+  case CommKind::Shift:
+    // Identical directions; magnitudes may differ (overlap width = max).
+    for (unsigned D = 0, E = Sig.rank(); D != E; ++D)
+      if (signOf(Offsets[D]) != signOf(Other.Offsets[D]))
+        return false;
+    return true;
+  case CommKind::Reduce:
+    return ReduceDims == Other.ReduceDims;
+  case CommKind::Bcast:
+    return BcastDim == Other.BcastDim && BcastPos == Other.BcastPos;
+  case CommKind::General:
+    return false;
+  }
+  return false;
+}
+
+std::string Mapping::str() const {
+  std::string Out = commKindName(Kind);
+  switch (Kind) {
+  case CommKind::Shift: {
+    Out += "[";
+    for (unsigned D = 0; D != Offsets.size(); ++D)
+      Out += strFormat(D ? ",%lld" : "%lld",
+                       static_cast<long long>(Offsets[D]));
+    Out += "]";
+    break;
+  }
+  case CommKind::Reduce: {
+    Out += "[";
+    for (unsigned D = 0; D != ReduceDims.size(); ++D)
+      Out += ReduceDims[D] ? "+" : ".";
+    Out += "]";
+    break;
+  }
+  case CommKind::Bcast:
+    Out += strFormat("[d%d=%lld]", BcastDim,
+                     static_cast<long long>(BcastPos));
+    break;
+  case CommKind::Local:
+  case CommKind::General:
+    break;
+  }
+  return Out;
+}

@@ -1,0 +1,85 @@
+//===- section/Mapping.h - Communication mapping functions ------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "M" component of an Available Section Descriptor: a mapping function
+/// from data elements to the processors that must receive them, expressed in
+/// the virtual processor space of template positions (paper Section 4.6/4.7).
+/// The kinds cover the patterns of the paper's evaluation:
+///
+///  - Shift: nearest-neighbour communication (NNC). The per-template-dim
+///    offset is the element distance (rhs index minus lhs index); the
+///    sender-receiver relation is its *sign*, magnitudes widen the overlap
+///    region. Diagonal shifts are decomposed into axis shifts by the
+///    message-coalescing prepass (Section 2.2).
+///  - Reduce: a global reduction (SUM) over the marked template dims, result
+///    replicated everywhere.
+///  - Bcast: a constant position along one template dim read by all
+///    processors (a broadcast plane/row).
+///  - General: anything else; modeled as unstructured many-to-many.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SECTION_MAPPING_H
+#define GCA_SECTION_MAPPING_H
+
+#include "ir/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace gca {
+
+enum class CommKind : uint8_t {
+  Local,   ///< No communication required.
+  Shift,   ///< Nearest-neighbour (the paper's NNC rows).
+  Reduce,  ///< Global reduction (the paper's SUM rows).
+  Bcast,   ///< Broadcast of a constant template position.
+  General, ///< Unstructured fallback.
+};
+
+const char *commKindName(CommKind Kind);
+
+struct Mapping {
+  CommKind Kind = CommKind::Local;
+  /// The template both endpoints align to.
+  TemplateSig Sig;
+  /// Shift: per-template-dim element offsets (use minus owner).
+  std::vector<int64_t> Offsets;
+  /// Reduce: template dims collapsed by the reduction.
+  std::vector<uint8_t> ReduceDims;
+  /// Bcast: the template dim with a constant subscript, and its position.
+  int BcastDim = -1;
+  int64_t BcastPos = 0;
+
+  static Mapping local() { return {}; }
+  static Mapping shift(TemplateSig Sig, std::vector<int64_t> Offsets);
+  static Mapping reduce(TemplateSig Sig, std::vector<uint8_t> ReduceDims);
+  static Mapping bcast(TemplateSig Sig, int Dim, int64_t Pos);
+  static Mapping general(TemplateSig Sig);
+
+  bool isLocal() const { return Kind == CommKind::Local; }
+
+  bool operator==(const Mapping &RHS) const;
+
+  /// True when every receiver served by *this is also served (with the same
+  /// data relation) by \p Other — the M1(D1) subset-of M2(D1) test of
+  /// Section 4.6. For shifts this means equal directions with \p Other
+  /// reaching at least as far.
+  bool subsumedBy(const Mapping &Other) const;
+
+  /// Section 4.7 compatibility: combining is profitable only when the
+  /// sender-receiver relationships are identical or one is a subset of the
+  /// other.
+  bool compatibleWith(const Mapping &Other) const;
+
+  std::string str() const;
+};
+
+} // namespace gca
+
+#endif // GCA_SECTION_MAPPING_H

@@ -1,0 +1,182 @@
+//===- section/Section.cpp - Regular array sections -----------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "section/Section.h"
+
+#include "support/StrUtil.h"
+
+#include <cstdlib>
+
+#include <algorithm>
+#include <numeric>
+#include <cassert>
+
+using namespace gca;
+
+int64_t SecDim::count() const {
+  int64_t Delta;
+  if (!Hi.constDifference(Lo, Delta))
+    return -1;
+  if (Delta < 0)
+    return 0;
+  return Delta / Step + 1;
+}
+
+int64_t RegSection::numElems() const {
+  int64_t N = 1;
+  for (const SecDim &D : Dims) {
+    int64_t C = D.count();
+    if (C < 0)
+      return -1;
+    N *= C;
+  }
+  return N;
+}
+
+bool RegSection::containedIn(const RegSection &Other) const {
+  if (rank() != Other.rank())
+    return false;
+  for (unsigned D = 0, E = rank(); D != E; ++D) {
+    const SecDim &A = Dims[D];
+    const SecDim &B = Other.Dims[D];
+    int64_t DLo, DHi;
+    if (!A.Lo.constDifference(B.Lo, DLo) || !B.Hi.constDifference(A.Hi, DHi))
+      return false; // Different variable structure: unknown.
+    if (DLo < 0 || DHi < 0)
+      return false; // A sticks out of B on either end.
+    // Stride compatibility: every element of A on B's lattice.
+    if (A.Step % B.Step != 0 || DLo % B.Step != 0)
+      return false;
+  }
+  return true;
+}
+
+bool RegSection::unionApprox(const RegSection &Other, RegSection &Out,
+                             int64_t &UnionElems, int64_t &SumElems) const {
+  if (rank() != Other.rank())
+    return false;
+  std::vector<SecDim> U;
+  U.reserve(rank());
+  for (unsigned D = 0, E = rank(); D != E; ++D) {
+    const SecDim &A = Dims[D];
+    const SecDim &B = Other.Dims[D];
+    int64_t DLo, DHi;
+    if (!A.Lo.constDifference(B.Lo, DLo) || !A.Hi.constDifference(B.Hi, DHi))
+      return false;
+    SecDim Dim;
+    Dim.Lo = DLo <= 0 ? A.Lo : B.Lo;
+    Dim.Hi = DHi >= 0 ? A.Hi : B.Hi;
+    Dim.Step = std::gcd(A.Step, B.Step);
+    // Phase: if the two lattices are offset, fall back to step that covers
+    // both (gcd of steps and the lo offset).
+    if (DLo % Dim.Step != 0)
+      Dim.Step = std::gcd(Dim.Step, std::llabs(DLo));
+    if (Dim.Step == 0)
+      Dim.Step = 1;
+    U.push_back(std::move(Dim));
+  }
+  Out = RegSection(std::move(U));
+  int64_t NA = numElems(), NB = Other.numElems(), NU = Out.numElems();
+  if (NA < 0 || NB < 0 || NU < 0) {
+    UnionElems = -1;
+    SumElems = -1;
+  } else {
+    UnionElems = NU;
+    SumElems = NA + NB;
+  }
+  return true;
+}
+
+bool RegSection::difference(const RegSection &Other, RegSection &Out) const {
+  if (rank() != Other.rank())
+    return false;
+  // Identify the single dimension where Other does not cover this section.
+  int Uncovered = -1;
+  for (unsigned D = 0, E = rank(); D != E; ++D) {
+    const SecDim &A = Dims[D];
+    const SecDim &B = Other.Dims[D];
+    int64_t DLo, DHi;
+    if (!A.Lo.constDifference(B.Lo, DLo) || !B.Hi.constDifference(A.Hi, DHi))
+      return false;
+    if (A.Step % B.Step != 0 || DLo % B.Step != 0)
+      return false; // Stride mismatch: treat as uncoverable.
+    bool Covered = DLo >= 0 && DHi >= 0;
+    if (Covered)
+      continue;
+    if (Uncovered >= 0)
+      return false; // Two uncovered dims: remainder is not a box.
+    Uncovered = static_cast<int>(D);
+  }
+  if (Uncovered < 0)
+    return false; // Fully covered: the difference is empty.
+
+  const SecDim &A = Dims[Uncovered];
+  const SecDim &B = Other.Dims[Uncovered];
+  int64_t DLo, DHi;
+  A.Lo.constDifference(B.Lo, DLo);
+  B.Hi.constDifference(A.Hi, DHi);
+  // The remainder must be one-sided (a pure prefix or suffix).
+  SecDim Rem = A;
+  if (DLo < 0 && DHi >= 0) {
+    // A sticks out below B: remainder is [A.Lo, B.Lo - step].
+    Rem.Hi = B.Lo - A.Step;
+  } else if (DHi < 0 && DLo >= 0) {
+    Rem.Lo = B.Hi + A.Step;
+  } else {
+    // Sticks out on both sides (or B disjoint inside): not a single box.
+    return false;
+  }
+  Out = *this;
+  Out.dim(static_cast<unsigned>(Uncovered)) = Rem;
+  return true;
+}
+
+bool RegSection::mayIntersect(const RegSection &Other) const {
+  if (rank() != Other.rank())
+    return true; // Unknown shapes: assume overlap.
+  for (unsigned D = 0, E = rank(); D != E; ++D) {
+    const SecDim &A = Dims[D];
+    const SecDim &B = Other.Dims[D];
+    int64_t AHiBLo, BHiALo;
+    // Provably disjoint when A ends before B starts or vice versa.
+    if (B.Lo.constDifference(A.Hi, AHiBLo) && AHiBLo > 0)
+      return false;
+    if (A.Lo.constDifference(B.Hi, BHiALo) && BHiALo > 0)
+      return false;
+  }
+  return true;
+}
+
+std::vector<DimRange>
+RegSection::concretize(const std::vector<int64_t> &VarValues) const {
+  std::vector<DimRange> Out;
+  Out.reserve(Dims.size());
+  for (const SecDim &D : Dims) {
+    DimRange R;
+    R.Lo = D.Lo.eval(VarValues);
+    R.Hi = D.Hi.eval(VarValues);
+    R.Step = D.Step;
+    Out.push_back(R);
+  }
+  return Out;
+}
+
+std::string RegSection::str(const std::vector<std::string> *VarNames) const {
+  std::vector<std::string> Parts;
+  for (const SecDim &D : Dims) {
+    int64_t Delta;
+    if (D.Hi.constDifference(D.Lo, Delta) && Delta == 0) {
+      Parts.push_back(D.Lo.str(VarNames));
+      continue;
+    }
+    std::string P = D.Lo.str(VarNames) + ":" + D.Hi.str(VarNames);
+    if (D.Step != 1)
+      P += strFormat(":%lld", static_cast<long long>(D.Step));
+    Parts.push_back(std::move(P));
+  }
+  return "(" + join(Parts, ",") + ")";
+}

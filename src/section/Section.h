@@ -1,0 +1,111 @@
+//===- section/Section.h - Regular array sections ---------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regular array sections (lo:hi:step per dimension) with bounds affine in
+/// the loop variables *outside* the placement point. Two sections produced
+/// at the same placement context can then be compared exactly even when they
+/// are parameterized by an enclosing loop (e.g. the planes g(i, 1:n, 1:n) and
+/// g(i-1, 1:n, 1:n)). Sections are the "D" component of the paper's
+/// Available Section Descriptors (Section 4.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SECTION_SECTION_H
+#define GCA_SECTION_SECTION_H
+
+#include "ir/AffineExpr.h"
+
+#include <string>
+#include <vector>
+
+namespace gca {
+
+/// A fully concrete per-dimension triplet.
+struct DimRange {
+  int64_t Lo = 0;
+  int64_t Hi = -1;
+  int64_t Step = 1;
+
+  bool empty() const { return Hi < Lo; }
+  int64_t count() const { return empty() ? 0 : (Hi - Lo) / Step + 1; }
+};
+
+/// One dimension of a (possibly outer-loop-parameterized) section.
+struct SecDim {
+  AffineExpr Lo;
+  AffineExpr Hi;
+  int64_t Step = 1;
+
+  static SecDim single(AffineExpr Index) {
+    return {Index, Index, 1};
+  }
+  static SecDim triplet(AffineExpr Lo, AffineExpr Hi, int64_t Step = 1) {
+    return {std::move(Lo), std::move(Hi), Step};
+  }
+
+  /// Element count when Hi - Lo is a known constant; -1 otherwise.
+  int64_t count() const;
+
+  bool operator==(const SecDim &RHS) const {
+    return Lo == RHS.Lo && Hi == RHS.Hi && Step == RHS.Step;
+  }
+};
+
+/// A regular section of one array.
+class RegSection {
+public:
+  RegSection() = default;
+  explicit RegSection(std::vector<SecDim> Dims) : Dims(std::move(Dims)) {}
+
+  unsigned rank() const { return static_cast<unsigned>(Dims.size()); }
+  const SecDim &dim(unsigned D) const { return Dims[D]; }
+  SecDim &dim(unsigned D) { return Dims[D]; }
+  const std::vector<SecDim> &dims() const { return Dims; }
+
+  /// Total element count; -1 when some dimension's extent is not constant.
+  int64_t numElems() const;
+
+  /// Conservative containment: true only when every dimension of *this is
+  /// provably inside the corresponding dimension of \p Other (same affine
+  /// variable structure, constant offsets, compatible strides).
+  bool containedIn(const RegSection &Other) const;
+
+  bool operator==(const RegSection &RHS) const { return Dims == RHS.Dims; }
+
+  /// Bounding-box union. Succeeds only when every pair of bounds has a
+  /// constant difference (same outer-variable structure); \p GrowthNum /
+  /// \p GrowthDen report |union| relative to |this| + |other| so callers can
+  /// enforce the paper's size-growth constraint (Section 4.7). Returns false
+  /// when the union is not representable.
+  bool unionApprox(const RegSection &Other, RegSection &Out,
+                   int64_t &UnionElems, int64_t &SumElems) const;
+
+  /// Evaluates to concrete ranges under \p VarValues (outer loop values).
+  std::vector<DimRange> concretize(const std::vector<int64_t> &VarValues) const;
+
+  /// Representable set difference: when \p Other covers this section in all
+  /// dimensions but one (where it covers a prefix or suffix), the remainder
+  /// is a single regular section. Used by partial redundancy elimination
+  /// ("reduce the communication for b2 to ASD(b2) - ASD(b1)", Section 4.6 /
+  /// [14]). Returns false when the difference is empty or not representable.
+  bool difference(const RegSection &Other, RegSection &Out) const;
+
+  /// Conservative intersection test: false only when some dimension's value
+  /// ranges are provably disjoint (constant-difference bounds); true
+  /// otherwise.
+  bool mayIntersect(const RegSection &Other) const;
+
+  std::string str(const std::vector<std::string> *VarNames = nullptr) const;
+
+private:
+  std::vector<SecDim> Dims;
+};
+
+} // namespace gca
+
+#endif // GCA_SECTION_SECTION_H

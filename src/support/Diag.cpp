@@ -1,0 +1,77 @@
+//===- support/Diag.cpp - Diagnostic engine -------------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+#include "support/StrUtil.h"
+
+using namespace gca;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "diag";
+}
+
+std::string Diag::str() const {
+  if (Loc.isValid())
+    return strFormat("%s: %s: %s", kindName(Kind), Loc.str().c_str(),
+                     Message.c_str());
+  return strFormat("%s: %s", kindName(Kind), Message.c_str());
+}
+
+void DiagEngine::report(DiagKind Kind, SourceLoc Loc, const char *Fmt,
+                        va_list Args) {
+  Diag D;
+  D.Kind = Kind;
+  D.Loc = Loc;
+  D.Message = strFormatV(Fmt, Args);
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+  Diags.push_back(std::move(D));
+}
+
+void DiagEngine::error(SourceLoc Loc, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  report(DiagKind::Error, Loc, Fmt, Args);
+  va_end(Args);
+}
+
+void DiagEngine::warning(SourceLoc Loc, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  report(DiagKind::Warning, Loc, Fmt, Args);
+  va_end(Args);
+}
+
+void DiagEngine::note(SourceLoc Loc, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  report(DiagKind::Note, Loc, Fmt, Args);
+  va_end(Args);
+}
+
+std::string DiagEngine::str() const {
+  std::string Out;
+  for (const Diag &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DiagEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

@@ -1,0 +1,77 @@
+//===- support/Diag.h - Diagnostic engine -----------------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small accumulating diagnostic engine. The frontend and semantic checks
+/// report recoverable user errors here (the library never throws); callers
+/// check hasErrors() after a phase and bail out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SUPPORT_DIAG_H
+#define GCA_SUPPORT_DIAG_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace gca {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic: severity, location, rendered message.
+struct Diag {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "error: 3:7: message" style text (message style follows the
+  /// LLVM convention: lowercase first letter, no trailing period).
+  std::string str() const;
+};
+
+/// Accumulates diagnostics for one compilation.
+///
+/// All frontend entry points take a DiagEngine; user-input problems become
+/// errors here rather than assertions, which are reserved for internal
+/// invariant violations.
+class DiagEngine {
+public:
+  /// Reports an error at \p Loc with a printf-style message.
+  void error(SourceLoc Loc, const char *Fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  /// Reports a warning at \p Loc with a printf-style message.
+  void warning(SourceLoc Loc, const char *Fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  /// Reports a note at \p Loc with a printf-style message.
+  void note(SourceLoc Loc, const char *Fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diag> &diags() const { return Diags; }
+
+  /// Renders every accumulated diagnostic, one per line.
+  std::string str() const;
+
+  /// Drops all accumulated diagnostics (for engine reuse in tests).
+  void clear();
+
+private:
+  void report(DiagKind Kind, SourceLoc Loc, const char *Fmt, va_list Args);
+
+  std::vector<Diag> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace gca
+
+#endif // GCA_SUPPORT_DIAG_H

@@ -1,0 +1,18 @@
+//===- support/SourceLoc.cpp - Source locations ---------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceLoc.h"
+
+#include "support/StrUtil.h"
+
+using namespace gca;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return strFormat("%d:%d", Line, Col);
+}

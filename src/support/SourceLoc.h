@@ -1,0 +1,44 @@
+//===- support/SourceLoc.h - Source locations -------------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny (line, column) source location used by the HPF-lite frontend and
+/// threaded through the IR so diagnostics and debug dumps can point back at
+/// the original program text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SUPPORT_SOURCELOC_H
+#define GCA_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace gca {
+
+/// A 1-based (line, column) position in an HPF-lite source buffer.
+/// Line 0 denotes an unknown/synthesized location (e.g. IR built through the
+/// builder API, or statements introduced by the scalarizer).
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(int Line, int Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line > 0; }
+
+  /// Renders "line:col", or "<unknown>" for synthesized locations.
+  std::string str() const;
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace gca
+
+#endif // GCA_SUPPORT_SOURCELOC_H

@@ -1,0 +1,425 @@
+//===- workloads/Workloads.cpp - Evaluation programs ----------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace gca;
+
+//===----------------------------------------------------------------------===//
+// shallow — NCAR shallow-water, the paper's Figure 2 structure: 13 (n,n)
+// (BLOCK,BLOCK) arrays; per timestep, F90 array statements compute cu, cv,
+// h, z from p/u/v (read with +-1 shifts, including the diagonal in z that
+// message coalescing subsumes), then unew/vnew/pnew from z/h/cu/cv, then the
+// time-smoothing copies. Static NNC call sites: orig 20, nored 14, comb 8.
+//===----------------------------------------------------------------------===//
+
+static const char *ShallowSrc = R"(
+program shallow
+param n = 64
+param nsteps = 4
+real u(n,n) distribute (block,block)
+real v(n,n) distribute (block,block)
+real p(n,n) distribute (block,block)
+real unew(n,n) distribute (block,block)
+real vnew(n,n) distribute (block,block)
+real pnew(n,n) distribute (block,block)
+real uold(n,n) distribute (block,block)
+real vold(n,n) distribute (block,block)
+real pold(n,n) distribute (block,block)
+real cu(n,n) distribute (block,block)
+real cv(n,n) distribute (block,block)
+real z(n,n) distribute (block,block)
+real h(n,n) distribute (block,block)
+begin
+  u = 1
+  v = 1
+  p = 1
+  uold = 1
+  vold = 1
+  pold = 1
+  cu = 0
+  cv = 0
+  z = 0
+  h = 0
+  unew = 0
+  vnew = 0
+  pnew = 0
+  do t = 1, nsteps
+    cu(2:n,1:n) = p(2:n,1:n) + p(1:n-1,1:n) + u(2:n,1:n)
+    cv(1:n,2:n) = p(1:n,2:n) + p(1:n,1:n-1) + v(1:n,2:n)
+    h(1:n-1,1:n-1) = p(1:n-1,1:n-1) + u(2:n,1:n-1) + u(1:n-1,1:n-1) + v(1:n-1,2:n) + v(1:n-1,1:n-1)
+    z(2:n,2:n) = v(2:n,2:n) + v(1:n-1,2:n) + u(2:n,2:n) + u(2:n,1:n-1) + p(1:n-1,1:n-1) + p(2:n,1:n-1) + p(1:n-1,2:n) + p(2:n,2:n)
+    unew(2:n,1:n-1) = uold(2:n,1:n-1) + z(2:n,2:n) + z(2:n,1:n-1) + cv(2:n,2:n) + cv(1:n-1,2:n) + cv(1:n-1,1:n-1) + cv(2:n,1:n-1) + h(2:n,1:n-1) + h(1:n-1,1:n-1)
+    vnew(1:n-1,2:n) = vold(1:n-1,2:n) + z(2:n,2:n) + z(1:n-1,2:n) + cu(2:n,2:n) + cu(2:n,1:n-1) + cu(1:n-1,1:n-1) + cu(1:n-1,2:n) + h(1:n-1,2:n) + h(1:n-1,1:n-1)
+    pnew(2:n-1,2:n-1) = pold(2:n-1,2:n-1) + cu(3:n,2:n-1) + cu(2:n-1,2:n-1) + cv(2:n-1,3:n) + cv(2:n-1,2:n-1) + h(1:n-2,2:n-1) + h(2:n-1,1:n-2)
+    uold(1:n,1:n) = u(1:n,1:n) + unew(1:n,1:n)
+    vold(1:n,1:n) = v(1:n,1:n) + vnew(1:n,1:n)
+    pold(1:n,1:n) = p(1:n,1:n) + pnew(1:n,1:n)
+    u = unew
+    v = vnew
+    p = pnew
+  end do
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// gravity — NPAC gravity, the paper's Figure 1 structure: a 3-d (n,n,n)
+// (*,BLOCK,BLOCK) field swept plane by plane inside a timestep loop, with
+// plane-stencil NNC for g and for the 2-d glast copy, plus four global sums
+// over rows of each. NNC: orig 8, nored 8, comb 4 (g and glast combine per
+// direction). SUM: orig 8, nored 8, comb 2 (four sums combine per point).
+//===----------------------------------------------------------------------===//
+
+static const char *GravitySrc = R"(
+program gravity
+param n = 16
+param nsteps = 2
+real g(n,n,n) distribute (*,block,block)
+real glast(n,n) distribute (block,block)
+real w(n,n) distribute (block,block)
+real w2(n,n) distribute (block,block)
+real sg
+real sgl
+begin
+  g = 1
+  glast = 0
+  w = 0
+  w2 = 0
+  sg = 0
+  sgl = 0
+  do t = 1, nsteps
+    do i = 2, n-1
+      w(2:n-1,2:n-1) = g(i-1,3:n,2:n-1) + g(i-1,1:n-2,2:n-1) + g(i-1,2:n-1,3:n) + g(i-1,2:n-1,1:n-2)
+      sg = sum(g(i,n,1:n)) + sum(g(i,n-1,1:n)) + sum(g(i,1,1:n)) + sum(g(i,2,1:n))
+      w2(2:n-1,2:n-1) = glast(3:n,2:n-1) + glast(1:n-2,2:n-1) + glast(2:n-1,3:n) + glast(2:n-1,1:n-2)
+      sgl = sum(glast(n,1:n)) + sum(glast(n-1,1:n)) + sum(glast(1,1:n)) + sum(glast(2,1:n))
+      glast(1:n,1:n) = g(i,1:n,1:n)
+      g(i,1:n,1:n) = w(1:n,1:n) + w2(1:n,1:n) + sg + sgl
+    end do
+  end do
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// trimesh — over 25 (n,n) (BLOCK,BLOCK) arrays. main: six stencil arrays
+// read with all four shift directions each iteration (24 sites), combining
+// to one exchange per direction (4). normdot: thirteen shifted references
+// over four arrays (13 -> 13 -> 4).
+//===----------------------------------------------------------------------===//
+
+static const char *TrimeshSrc = R"(
+program trimesh
+param n = 64
+param nsteps = 4
+routine main
+real a1(n,n) distribute (block,block)
+real a2(n,n) distribute (block,block)
+real a3(n,n) distribute (block,block)
+real a4(n,n) distribute (block,block)
+real a5(n,n) distribute (block,block)
+real a6(n,n) distribute (block,block)
+real r1(n,n) distribute (block,block)
+real r2(n,n) distribute (block,block)
+real r3(n,n) distribute (block,block)
+real r4(n,n) distribute (block,block)
+real r5(n,n) distribute (block,block)
+real r6(n,n) distribute (block,block)
+real e1(n,n) distribute (block,block)
+real e2(n,n) distribute (block,block)
+real e3(n,n) distribute (block,block)
+real e4(n,n) distribute (block,block)
+real e5(n,n) distribute (block,block)
+real e6(n,n) distribute (block,block)
+real e7(n,n) distribute (block,block)
+real e8(n,n) distribute (block,block)
+real e9(n,n) distribute (block,block)
+real e10(n,n) distribute (block,block)
+real e11(n,n) distribute (block,block)
+real e12(n,n) distribute (block,block)
+real e13(n,n) distribute (block,block)
+real e14(n,n) distribute (block,block)
+begin
+  a1 = 1
+  a2 = 1
+  a3 = 1
+  a4 = 1
+  a5 = 1
+  a6 = 1
+  do t = 1, nsteps
+    r1(2:n-1,2:n-1) = a1(3:n,2:n-1) + a1(1:n-2,2:n-1) + a1(2:n-1,3:n) + a1(2:n-1,1:n-2)
+    r2(2:n-1,2:n-1) = a2(3:n,2:n-1) + a2(1:n-2,2:n-1) + a2(2:n-1,3:n) + a2(2:n-1,1:n-2)
+    r3(2:n-1,2:n-1) = a3(3:n,2:n-1) + a3(1:n-2,2:n-1) + a3(2:n-1,3:n) + a3(2:n-1,1:n-2)
+    r4(2:n-1,2:n-1) = a4(3:n,2:n-1) + a4(1:n-2,2:n-1) + a4(2:n-1,3:n) + a4(2:n-1,1:n-2)
+    r5(2:n-1,2:n-1) = a5(3:n,2:n-1) + a5(1:n-2,2:n-1) + a5(2:n-1,3:n) + a5(2:n-1,1:n-2)
+    r6(2:n-1,2:n-1) = a6(3:n,2:n-1) + a6(1:n-2,2:n-1) + a6(2:n-1,3:n) + a6(2:n-1,1:n-2)
+    e1(1:n,1:n) = r1(1:n,1:n) + e2(1:n,1:n)
+    e2(1:n,1:n) = r2(1:n,1:n) + e3(1:n,1:n)
+    e3(1:n,1:n) = r3(1:n,1:n) + e4(1:n,1:n)
+    e4(1:n,1:n) = r4(1:n,1:n) + e5(1:n,1:n)
+    e5(1:n,1:n) = r5(1:n,1:n) + e6(1:n,1:n)
+    e6(1:n,1:n) = r6(1:n,1:n) + e7(1:n,1:n)
+    e7(1:n,1:n) = e8(1:n,1:n) + e9(1:n,1:n)
+    e8(1:n,1:n) = e10(1:n,1:n) + e11(1:n,1:n)
+    e9(1:n,1:n) = e12(1:n,1:n) + e13(1:n,1:n)
+    e10(1:n,1:n) = e14(1:n,1:n) + r1(1:n,1:n)
+    a1(1:n,1:n) = r1(1:n,1:n) + e1(1:n,1:n)
+    a2(1:n,1:n) = r2(1:n,1:n) + e2(1:n,1:n)
+    a3(1:n,1:n) = r3(1:n,1:n) + e3(1:n,1:n)
+    a4(1:n,1:n) = r4(1:n,1:n) + e4(1:n,1:n)
+    a5(1:n,1:n) = r5(1:n,1:n) + e5(1:n,1:n)
+    a6(1:n,1:n) = r6(1:n,1:n) + e6(1:n,1:n)
+  end do
+end
+routine normdot
+real c1(n,n) distribute (block,block)
+real c2(n,n) distribute (block,block)
+real c3(n,n) distribute (block,block)
+real c4(n,n) distribute (block,block)
+real d1(n,n) distribute (block,block)
+real d2(n,n) distribute (block,block)
+real d3(n,n) distribute (block,block)
+real d4(n,n) distribute (block,block)
+begin
+  c1 = 1
+  c2 = 1
+  c3 = 1
+  c4 = 1
+  do t = 1, nsteps
+    d1(2:n-1,2:n-1) = c1(3:n,2:n-1) + c1(1:n-2,2:n-1) + c1(2:n-1,3:n) + c1(2:n-1,1:n-2)
+    d2(2:n-1,2:n-1) = c2(3:n,2:n-1) + c2(1:n-2,2:n-1) + c2(2:n-1,3:n)
+    d3(2:n-1,2:n-1) = c3(1:n-2,2:n-1) + c3(2:n-1,3:n) + c3(2:n-1,1:n-2)
+    d4(2:n-1,2:n-1) = c4(3:n,2:n-1) + c4(2:n-1,3:n) + c4(2:n-1,1:n-2)
+    c1(1:n,1:n) = d1(1:n,1:n)
+    c2(1:n,1:n) = d2(1:n,1:n)
+    c3(1:n,1:n) = d3(1:n,1:n)
+    c4(1:n,1:n) = d4(1:n,1:n)
+  end do
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// hydflo — eight 5x(n+2)^3 arrays distributed (*,BLOCK,BLOCK,BLOCK). gauss:
+// an iterative sweep whose statements re-read the same shifted planes, so
+// redundancy elimination drops 52 sites to 30 and combining reaches 6 (one
+// exchange per 3-d direction) — the paper's factor-of-almost-nine row.
+// flux: two-field sweep, 12 -> 12 -> 6.
+//===----------------------------------------------------------------------===//
+
+static const char *HydfloSrc = R"(
+program hydflo
+param n = 16
+param nsteps = 2
+routine gauss
+real h1(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real h2(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real h3(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real h4(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real h5(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real f1(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real f2(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real f3(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+begin
+  h1 = 1
+  h2 = 1
+  h3 = 1
+  h4 = 1
+  h5 = 1
+  f1 = 0
+  f2 = 0
+  f3 = 0
+  do t = 1, nsteps
+    f1(1,1:n,1:n,1:n) = h1(1,2:n+1,1:n,1:n) + h1(1,0:n-1,1:n,1:n) + h1(1,1:n,2:n+1,1:n) + h1(1,1:n,0:n-1,1:n) + h1(1,1:n,1:n,2:n+1) + h1(1,1:n,1:n,0:n-1)
+    f2(1,1:n,1:n,1:n) = h2(1,2:n+1,1:n,1:n) + h2(1,0:n-1,1:n,1:n) + h2(1,1:n,2:n+1,1:n) + h2(1,1:n,0:n-1,1:n) + h2(1,1:n,1:n,2:n+1) + h2(1,1:n,1:n,0:n-1)
+    f3(1,1:n,1:n,1:n) = h3(1,2:n+1,1:n,1:n) + h3(1,0:n-1,1:n,1:n) + h3(1,1:n,2:n+1,1:n) + h3(1,1:n,0:n-1,1:n) + h3(1,1:n,1:n,2:n+1) + h3(1,1:n,1:n,0:n-1)
+    f1(2,1:n,1:n,1:n) = h4(1,2:n+1,1:n,1:n) + h4(1,0:n-1,1:n,1:n) + h4(1,1:n,2:n+1,1:n) + h4(1,1:n,0:n-1,1:n) + h4(1,1:n,1:n,2:n+1) + h4(1,1:n,1:n,0:n-1)
+    f2(2,1:n,1:n,1:n) = h5(1,2:n+1,1:n,1:n) + h5(1,0:n-1,1:n,1:n) + h5(1,1:n,2:n+1,1:n) + h5(1,1:n,0:n-1,1:n) + h5(1,1:n,1:n,2:n+1) + h5(1,1:n,1:n,0:n-1)
+    f3(2,1:n,1:n,1:n) = h1(1,2:n+1,1:n,1:n) + h1(1,0:n-1,1:n,1:n) + h1(1,1:n,2:n+1,1:n) + h1(1,1:n,0:n-1,1:n) + h1(1,1:n,1:n,2:n+1) + h1(1,1:n,1:n,0:n-1) + h2(1,2:n+1,1:n,1:n) + h2(1,0:n-1,1:n,1:n) + h2(1,1:n,2:n+1,1:n) + h2(1,1:n,0:n-1,1:n) + h2(1,1:n,1:n,2:n+1) + h2(1,1:n,1:n,0:n-1) + h3(1,2:n+1,1:n,1:n) + h3(1,0:n-1,1:n,1:n) + h3(1,1:n,2:n+1,1:n) + h3(1,1:n,0:n-1,1:n) + h3(1,1:n,1:n,2:n+1) + h3(1,1:n,1:n,0:n-1) + h4(1,1:n,2:n+1,1:n) + h4(1,1:n,0:n-1,1:n) + h4(1,1:n,1:n,2:n+1) + h4(1,1:n,1:n,0:n-1)
+    h1(1,1:n,1:n,1:n) = f1(1,1:n,1:n,1:n)
+    h2(1,1:n,1:n,1:n) = f2(1,1:n,1:n,1:n)
+    h3(1,1:n,1:n,1:n) = f3(1,1:n,1:n,1:n)
+    h4(1,1:n,1:n,1:n) = f1(2,1:n,1:n,1:n)
+    h5(1,1:n,1:n,1:n) = f2(2,1:n,1:n,1:n)
+  end do
+end
+routine flux
+real p1(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real p2(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real q1(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+real q2(5,0:n+1,0:n+1,0:n+1) distribute (*,block,block,block)
+begin
+  p1 = 1
+  p2 = 1
+  do t = 1, nsteps
+    q1(1,1:n,1:n,1:n) = p1(1,2:n+1,1:n,1:n) + p1(1,0:n-1,1:n,1:n) + p1(1,1:n,2:n+1,1:n) + p1(1,1:n,0:n-1,1:n) + p1(1,1:n,1:n,2:n+1) + p1(1,1:n,1:n,0:n-1)
+    q2(1,1:n,1:n,1:n) = p2(1,2:n+1,1:n,1:n) + p2(1,0:n-1,1:n,1:n) + p2(1,1:n,2:n+1,1:n) + p2(1,1:n,0:n-1,1:n) + p2(1,1:n,1:n,2:n+1) + p2(1,1:n,1:n,0:n-1)
+    p1(1,1:n,1:n,1:n) = q1(1,1:n,1:n,1:n)
+    p2(1,1:n,1:n,1:n) = q2(1,1:n,1:n,1:n)
+  end do
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Figures 3 and 4 (motivating examples).
+//===----------------------------------------------------------------------===//
+
+static const char *Figure3FusedSrc = R"(
+program figure3a
+param n = 64
+real a(n) distribute (block)
+real b(n) distribute (block)
+real c(n) distribute (block)
+begin
+  a = 3
+  b = 4
+  c(2:n) = a(1:n-1) + b(1:n-1)
+end
+)";
+
+static const char *Figure3ScalarizedSrc = R"(
+program figure3b
+param n = 64
+real a(n) distribute (block)
+real b(n) distribute (block)
+real c(n) distribute (block)
+begin
+  do i = 1, n
+    a(i) = 3
+  end do
+  do i = 1, n
+    b(i) = 4
+  end do
+  do i = 2, n
+    c(i) = a(i-1) + b(i-1)
+  end do
+end
+)";
+
+static const char *Figure3HandCodedSrc = R"(
+program figure3c
+param n = 64
+real a(n) distribute (block)
+real b(n) distribute (block)
+real c(n) distribute (block)
+begin
+  do i = 1, n
+    a(i) = 3
+    b(i) = 4
+  end do
+  do i = 2, n
+    c(i) = a(i-1) + b(i-1)
+  end do
+end
+)";
+
+static const char *Figure4Src = R"(
+program figure4
+param n = 16
+real a(n,n) distribute (block,*)
+real b(n,n) distribute (block,*)
+real c(n,n) distribute (block,*)
+real d(n,n) distribute (block,*)
+begin
+  b(:,1:n:2) = 1
+  b(:,2:n:2) = 2
+  if (cond) then
+    a = 3
+  else
+    a = d
+  end if
+  do i = 2, n
+    do j = 1, n, 2
+      c(i,j) = a(i-1,j) + b(i-1,j)
+    end do
+    do j = 1, n
+      c(i,j) = a(i-1,j) + b(i-1,j)
+    end do
+  end do
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+const Workload &gca::shallowWorkload() {
+  static const Workload W{
+      "shallow", ShallowSrc, {{"shallow", "NNC", 20, 14, 8}}};
+  return W;
+}
+
+const Workload &gca::gravityWorkload() {
+  static const Workload W{"gravity",
+                          GravitySrc,
+                          {{"gravity", "NNC", 8, 8, 4},
+                           {"gravity", "SUM", 8, 8, 2}}};
+  return W;
+}
+
+const Workload &gca::trimeshWorkload() {
+  static const Workload W{"trimesh",
+                          TrimeshSrc,
+                          {{"main", "NNC", 24, 24, 4},
+                           {"normdot", "NNC", 13, 13, 4}}};
+  return W;
+}
+
+const Workload &gca::hydfloWorkload() {
+  static const Workload W{"hydflo",
+                          HydfloSrc,
+                          {{"gauss", "NNC", 52, 30, 6},
+                           {"flux", "NNC", 12, 12, 6}}};
+  return W;
+}
+
+const Workload &gca::figure1Workload() {
+  // Figure 1 is the motivating form of gravity; the communication structure
+  // is identical.
+  static const Workload W{"figure1",
+                          GravitySrc,
+                          {{"gravity", "NNC", 8, 8, 4},
+                           {"gravity", "SUM", 8, 8, 2}}};
+  return W;
+}
+
+const Workload &gca::figure2Workload() {
+  static const Workload W{
+      "figure2", ShallowSrc, {{"shallow", "NNC", 20, 14, 8}}};
+  return W;
+}
+
+const Workload &gca::figure3FusedWorkload() {
+  static const Workload W{"figure3a", Figure3FusedSrc, {}};
+  return W;
+}
+
+const Workload &gca::figure3ScalarizedWorkload() {
+  static const Workload W{"figure3b", Figure3ScalarizedSrc, {}};
+  return W;
+}
+
+const Workload &gca::figure3HandCodedWorkload() {
+  static const Workload W{"figure3c", Figure3HandCodedSrc, {}};
+  return W;
+}
+
+const Workload &gca::figure4Workload() {
+  static const Workload W{
+      "figure4", Figure4Src, {{"figure4", "NNC", 2, 3, 1}}};
+  return W;
+}
+
+std::vector<const Workload *> gca::evaluationWorkloads() {
+  return {&shallowWorkload(), &gravityWorkload(), &trimeshWorkload(),
+          &hydfloWorkload()};
+}
+
+std::vector<const Workload *> gca::allWorkloads() {
+  return {&shallowWorkload(),        &gravityWorkload(),
+          &trimeshWorkload(),        &hydfloWorkload(),
+          &figure3FusedWorkload(),   &figure3ScalarizedWorkload(),
+          &figure3HandCodedWorkload(), &figure4Workload()};
+}

@@ -1,0 +1,79 @@
+//===- workloads/Workloads.h - Evaluation programs --------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HPF-lite re-creations of the paper's motivating codes (Figures 1-4) and
+/// evaluation benchmarks (Section 5). The original sources are not published
+/// in the paper; these are "simplified forms" in the paper's own sense,
+/// constructed to reproduce the communication structure it reports:
+///
+///   benchmark  routine   type   orig  nored  comb   (Figure 10 table)
+///   shallow    main      NNC      20     14     8
+///   gravity    main      NNC       8      8     4
+///   gravity    main      SUM       8      8     2
+///   trimesh    main      NNC      24     24     4
+///   trimesh    normdot   NNC      13     13     4
+///   hydflo     gauss     NNC      52     30     6
+///   hydflo     flux      NNC      12     12     6
+///
+/// Every source takes `n` (per-dimension problem size) and `nsteps` as
+/// parameters, overridable through the ParamMap, which is how the benchmarks
+/// sweep Figure 10's problem sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_WORKLOADS_WORKLOADS_H
+#define GCA_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace gca {
+
+/// Expected static call-site counts for one routine and kind.
+struct ExpectedCounts {
+  std::string Routine;
+  std::string Kind; ///< "NNC" or "SUM".
+  int Orig;
+  int Nored;
+  int Comb;
+};
+
+struct Workload {
+  std::string Name;
+  std::string Source;
+  std::vector<ExpectedCounts> Expected; ///< Empty for motivating examples.
+};
+
+/// The NCAR shallow-water benchmark (Figure 2 / Figure 10 rows 1).
+const Workload &shallowWorkload();
+/// The NPAC gravity benchmark (Figure 1 / Figure 10 rows 2-3).
+const Workload &gravityWorkload();
+/// The trimesh benchmark (Figure 10 rows 4-5; routines main and normdot).
+const Workload &trimeshWorkload();
+/// The hydflo benchmark (Figure 10 rows 6-7; routines gauss and flux).
+const Workload &hydfloWorkload();
+
+/// Figure 1: the motivating form of gravity (combining NNC and sums).
+const Workload &figure1Workload();
+/// Figure 2: the motivating form of shallow (earliest placement may hurt).
+const Workload &figure2Workload();
+/// Figure 3: the three semantically equal forms (syntax sensitivity).
+const Workload &figure3FusedWorkload();      // Column 1 (F90 source).
+const Workload &figure3ScalarizedWorkload(); // Column 2 (separate loops).
+const Workload &figure3HandCodedWorkload();  // Column 3 (hand-fused F77).
+/// Figure 4: the running example of the analysis sections.
+const Workload &figure4Workload();
+
+/// All evaluation workloads (shallow, gravity, trimesh, hydflo).
+std::vector<const Workload *> evaluationWorkloads();
+/// All workloads including the motivating figures.
+std::vector<const Workload *> allWorkloads();
+
+} // namespace gca
+
+#endif // GCA_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,38 @@
+//===- xform/Fuse.h - conservative loop fusion ------------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative fusion of adjacent conformable loop nests. The paper's
+/// Section 2.3 notes that fusing the scalarizer's output can repair the
+/// syntax sensitivity of earliest placement — "If loop fusion can be
+/// performed before this analysis, as in this case, the problem can be
+/// avoided. But this is not always possible." This pass implements exactly
+/// that repair (and its limits): two adjacent perfect nests fuse when their
+/// bounds match level by level and every cross-nest value flow is
+/// non-forward (each fused iteration reads only data already written), so
+/// tests and ablations can compare fusion+earliest against the global
+/// algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_XFORM_FUSE_H
+#define GCA_XFORM_FUSE_H
+
+#include "ir/Ast.h"
+
+namespace gca {
+
+/// Fuses adjacent conformable loop nests throughout \p R (repeatedly, to a
+/// fixpoint per statement list). Returns the number of fusions performed.
+int fuseLoops(Routine &R);
+
+/// Applies fuseLoops to every routine.
+int fuseLoops(Program &P);
+
+} // namespace gca
+
+#endif // GCA_XFORM_FUSE_H

@@ -1,0 +1,219 @@
+//===- xform/Scalarize.cpp - F90 array-statement scalarizer ---------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/Scalarize.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace gca;
+
+namespace {
+
+class Scalarizer {
+public:
+  Scalarizer(Routine &R, DiagEngine &Diags) : R(R), Diags(Diags) {}
+
+  void run() { rewriteList(R.body()); }
+
+private:
+  void rewriteList(std::vector<Stmt *> &List);
+  /// Returns the replacement for \p S (S itself when nothing to do).
+  Stmt *rewriteAssign(AssignStmt *S);
+
+  Routine &R;
+  DiagEngine &Diags;
+  int NextTmp = 0;
+};
+
+} // namespace
+
+/// Number of Range subscripts in \p Ref.
+static unsigned countRanges(const ArrayRef &Ref) {
+  unsigned N = 0;
+  for (const Subscript &S : Ref.Subs)
+    if (S.isRange())
+      ++N;
+  return N;
+}
+
+Stmt *Scalarizer::rewriteAssign(AssignStmt *S) {
+  if (S->lhsIsScalar())
+    return S; // Scalar targets (incl. reductions) are not scalarized.
+  const ArrayRef &Lhs = S->lhs();
+  unsigned NumRanges = countRanges(Lhs);
+  if (NumRanges == 0)
+    return S;
+
+  // Conformance: every plain-array RHS ref must have the same number of
+  // ranged dimensions (sum() arguments reduce away their ranges and are
+  // conceptually scalar, so they are left untouched).
+  for (const RhsTerm &T : S->rhs()) {
+    if (T.K != RhsTerm::Kind::Array)
+      continue;
+    if (countRanges(T.Ref) != NumRanges) {
+      Diags.error(T.Ref.Loc,
+                  "nonconforming array section: %u ranged dims vs %u on the "
+                  "left-hand side",
+                  countRanges(T.Ref), NumRanges);
+      return S;
+    }
+  }
+
+  // Build one loop per ranged LHS dimension, outermost = leftmost.
+  // When the LHS range and every corresponding RHS range share step 1, the
+  // loop runs directly over the LHS index values and RHS subscripts become
+  // index + constant offset; otherwise the loop is normalized to 0..trip-1.
+  struct DimPlan {
+    unsigned RangeIdx;  // Which ranged dim (0-based among ranges).
+    bool Direct;        // Direct index space vs normalized.
+    int VarId;
+  };
+  std::vector<DimPlan> Plans;
+
+  // Collect per-range-position RHS subscripts to decide direct vs normalized.
+  unsigned RangeIdx = 0;
+  for (unsigned D = 0, E = Lhs.Subs.size(); D != E; ++D) {
+    if (!Lhs.Subs[D].isRange())
+      continue;
+    bool Direct = Lhs.Subs[D].Step == 1;
+    if (Direct) {
+      for (const RhsTerm &T : S->rhs()) {
+        if (T.K != RhsTerm::Kind::Array)
+          continue;
+        unsigned RI = 0;
+        for (const Subscript &Sub : T.Ref.Subs) {
+          if (!Sub.isRange())
+            continue;
+          if (RI == RangeIdx && Sub.Step != 1)
+            Direct = false;
+          ++RI;
+        }
+      }
+    }
+    DimPlan P;
+    P.RangeIdx = RangeIdx;
+    P.Direct = Direct;
+    P.VarId = R.addLoopVar(strFormat("_s%d", NextTmp++));
+    Plans.push_back(P);
+    ++RangeIdx;
+  }
+
+  // Rewrites one reference: each ranged dim becomes an element subscript in
+  // terms of the corresponding new loop variable.
+  auto rewriteRef = [&](const ArrayRef &Ref, const ArrayRef &LhsRef,
+                        bool IsLhs) {
+    ArrayRef Out = Ref;
+    unsigned RI = 0;
+    for (unsigned D = 0, E = Out.Subs.size(); D != E; ++D) {
+      Subscript &Sub = Out.Subs[D];
+      if (!Sub.isRange())
+        continue;
+      const DimPlan &P = Plans[RI];
+      AffineExpr Var = AffineExpr::var(P.VarId);
+      if (P.Direct) {
+        // Loop runs over the LHS index values; this ref's index is
+        // var + (refLo - lhsLo).
+        AffineExpr LhsLo = [&] {
+          unsigned LRI = 0;
+          for (const Subscript &LS : LhsRef.Subs) {
+            if (!LS.isRange())
+              continue;
+            if (LRI == RI)
+              return LS.Lo;
+            ++LRI;
+          }
+          assert(false && "LHS range not found");
+          return AffineExpr::constant(0);
+        }();
+        if (IsLhs)
+          Sub = Subscript::elem(Var);
+        else
+          Sub = Subscript::elem(Var + (Sub.Lo - LhsLo));
+      } else {
+        // Normalized: index = lo + var * step.
+        Sub = Subscript::elem(Sub.Lo + Var * Sub.Step);
+      }
+      ++RI;
+    }
+    return Out;
+  };
+
+  ArrayRef NewLhs = rewriteRef(Lhs, Lhs, /*IsLhs=*/true);
+  std::vector<RhsTerm> NewRhs = S->rhs();
+  for (RhsTerm &T : NewRhs)
+    if (T.K == RhsTerm::Kind::Array)
+      T.Ref = rewriteRef(T.Ref, Lhs, /*IsLhs=*/false);
+
+  AssignStmt *Body = R.newAssign(std::move(NewLhs), std::move(NewRhs),
+                                 S->numOps());
+  Body->setLoc(S->loc());
+
+  // Wrap in loops, innermost-first construction.
+  Stmt *Inner = Body;
+  for (unsigned I = Plans.size(); I-- > 0;) {
+    const DimPlan &P = Plans[I];
+    // Find the LHS subscript for this range position.
+    const Subscript *LhsSub = nullptr;
+    unsigned RI = 0;
+    for (const Subscript &LS : Lhs.Subs) {
+      if (!LS.isRange())
+        continue;
+      if (RI == P.RangeIdx) {
+        LhsSub = &LS;
+        break;
+      }
+      ++RI;
+    }
+    assert(LhsSub && "missing LHS range");
+    LoopStmt *L;
+    if (P.Direct) {
+      L = R.newLoop(P.VarId, LhsSub->Lo, LhsSub->Hi, 1);
+    } else {
+      // Normalized 0 .. trip-1; trips computed from the (affine) bounds.
+      // Bounds must be constant for normalization; diagnose otherwise.
+      if (!LhsSub->Lo.isConstant() || !LhsSub->Hi.isConstant()) {
+        Diags.error(S->loc(),
+                    "cannot normalize strided section with non-constant "
+                    "bounds");
+        return S;
+      }
+      int64_t Trip =
+          (LhsSub->Hi.constValue() - LhsSub->Lo.constValue()) / LhsSub->Step +
+          1;
+      L = R.newLoop(P.VarId, AffineExpr::constant(0),
+                    AffineExpr::constant(Trip - 1), 1);
+    }
+    L->setLoc(S->loc());
+    L->body().push_back(Inner);
+    Inner = L;
+  }
+  return Inner;
+}
+
+void Scalarizer::rewriteList(std::vector<Stmt *> &List) {
+  for (Stmt *&S : List) {
+    if (auto *A = dyn_cast<AssignStmt>(S)) {
+      S = rewriteAssign(A);
+    } else if (auto *L = dyn_cast<LoopStmt>(S)) {
+      rewriteList(L->body());
+    } else if (auto *I = dyn_cast<IfStmt>(S)) {
+      rewriteList(I->thenBody());
+      rewriteList(I->elseBody());
+    }
+  }
+}
+
+void gca::scalarizeRoutine(Routine &R, DiagEngine &Diags) {
+  Scalarizer(R, Diags).run();
+}
+
+void gca::scalarizeProgram(Program &P, DiagEngine &Diags) {
+  for (auto &R : P.Routines)
+    scalarizeRoutine(*R, Diags);
+}

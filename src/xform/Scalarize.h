@@ -1,0 +1,37 @@
+//===- xform/Scalarize.h - F90 array-statement scalarizer -------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pHPF-style scalarizer: each F90 array assignment (`c(2:n) =
+/// a(1:n-1) + b(1:n-1)`) becomes its own DO-loop nest over the section.
+/// Crucially (and faithfully to the paper's Figure 3), every array statement
+/// becomes a *separate* loop nest — the scalarizer performs no fusion, which
+/// is exactly the "syntax sensitivity" that defeats earliest placement and
+/// that the global placement algorithm is robust against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_XFORM_SCALARIZE_H
+#define GCA_XFORM_SCALARIZE_H
+
+#include "ir/Ast.h"
+#include "support/Diag.h"
+
+namespace gca {
+
+/// Rewrites every array assignment with section subscripts in \p R into an
+/// equivalent DO-loop nest of element assignments. Scalar assignments and
+/// `sum()` reductions are left intact (reductions are communicated as SUM
+/// patterns, not scalarized). Nonconforming sections are diagnosed.
+void scalarizeRoutine(Routine &R, DiagEngine &Diags);
+
+/// Applies scalarizeRoutine to every routine of \p P.
+void scalarizeProgram(Program &P, DiagEngine &Diags);
+
+} // namespace gca
+
+#endif // GCA_XFORM_SCALARIZE_H

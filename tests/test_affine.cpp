@@ -1,0 +1,124 @@
+//===- tests/test_affine.cpp - AffineExpr tests ---------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AffineExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+TEST(AffineExpr, Constants) {
+  AffineExpr C = AffineExpr::constant(7);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constValue(), 7);
+  EXPECT_EQ(C.numVars(), 0u);
+}
+
+TEST(AffineExpr, VarBasics) {
+  AffineExpr I = AffineExpr::var(0);
+  EXPECT_FALSE(I.isConstant());
+  EXPECT_EQ(I.coeff(0), 1);
+  EXPECT_EQ(I.coeff(1), 0);
+  EXPECT_TRUE(I.usesVar(0));
+  EXPECT_FALSE(I.usesVar(1));
+}
+
+TEST(AffineExpr, ZeroCoefficientVanishes) {
+  AffineExpr E = AffineExpr::var(0) - AffineExpr::var(0);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constValue(), 0);
+  EXPECT_EQ((AffineExpr::var(2, 0)).numVars(), 0u);
+}
+
+TEST(AffineExpr, Arithmetic) {
+  AffineExpr I = AffineExpr::var(0), J = AffineExpr::var(1);
+  AffineExpr E = I * 2 + J - 3; // 2i + j - 3
+  EXPECT_EQ(E.coeff(0), 2);
+  EXPECT_EQ(E.coeff(1), 1);
+  EXPECT_EQ(E.constPart(), -3);
+  EXPECT_EQ(E.eval({5, 10}), 2 * 5 + 10 - 3);
+}
+
+TEST(AffineExpr, ScaleByZero) {
+  AffineExpr E = (AffineExpr::var(0) + 5) * 0;
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constValue(), 0);
+}
+
+TEST(AffineExpr, ConstDifference) {
+  AffineExpr A = AffineExpr::var(0) + 4;
+  AffineExpr B = AffineExpr::var(0) - 1;
+  int64_t Delta = 0;
+  EXPECT_TRUE(A.constDifference(B, Delta));
+  EXPECT_EQ(Delta, 5);
+
+  AffineExpr C = AffineExpr::var(1) + 4;
+  EXPECT_FALSE(A.constDifference(C, Delta));
+}
+
+TEST(AffineExpr, Substitute) {
+  // (2i + j) with i := k + 1  ->  2k + j + 2.
+  AffineExpr E = AffineExpr::var(0) * 2 + AffineExpr::var(1);
+  AffineExpr R = E.substitute(0, AffineExpr::var(2) + 1);
+  EXPECT_EQ(R.coeff(0), 0);
+  EXPECT_EQ(R.coeff(1), 1);
+  EXPECT_EQ(R.coeff(2), 2);
+  EXPECT_EQ(R.constPart(), 2);
+}
+
+TEST(AffineExpr, SubstituteAbsentVarIsIdentity) {
+  AffineExpr E = AffineExpr::var(0) + 3;
+  EXPECT_TRUE(E == E.substitute(5, AffineExpr::constant(100)));
+}
+
+TEST(AffineExpr, Str) {
+  std::vector<std::string> Names = {"i", "j"};
+  EXPECT_EQ(AffineExpr::constant(4).str(&Names), "4");
+  EXPECT_EQ((AffineExpr::var(0) - 1).str(&Names), "i-1");
+  EXPECT_EQ((AffineExpr::var(0) * 2 + AffineExpr::var(1) + 3).str(&Names),
+            "2*i+j+3");
+  EXPECT_EQ((AffineExpr::var(1) * -1).str(&Names), "-j");
+}
+
+/// Property sweep: (A + B).eval == A.eval + B.eval, substitution respects
+/// evaluation, constDifference is consistent.
+class AffineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AffineProperty, EvalHomomorphism) {
+  int Seed = GetParam();
+  // Small deterministic pseudo-random generator.
+  auto Next = [State = static_cast<uint64_t>(Seed * 2654435761u + 1)]() mutable {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<int64_t>((State >> 33) % 21) - 10;
+  };
+  AffineExpr A = AffineExpr::constant(Next());
+  AffineExpr B = AffineExpr::constant(Next());
+  for (int V = 0; V != 4; ++V) {
+    A = A + AffineExpr::var(V, Next());
+    B = B + AffineExpr::var(V, Next());
+  }
+  std::vector<int64_t> Env = {Next(), Next(), Next(), Next()};
+  EXPECT_EQ((A + B).eval(Env), A.eval(Env) + B.eval(Env));
+  EXPECT_EQ((A - B).eval(Env), A.eval(Env) - B.eval(Env));
+  EXPECT_EQ((A * 3).eval(Env), 3 * A.eval(Env));
+
+  // Substitution property: eval(E[v := R]) == eval(E) when Env(v) == R(Env).
+  AffineExpr R = AffineExpr::var(3) + 2;
+  std::vector<int64_t> Env2 = Env;
+  Env2[1] = R.eval(Env);
+  std::vector<int64_t> EnvR = Env;
+  EnvR[1] = Env2[1];
+  EXPECT_EQ(A.substitute(1, R).eval(Env), A.eval(EnvR));
+
+  // constDifference consistency.
+  int64_t Delta;
+  if (A.constDifference(B, Delta)) {
+    EXPECT_EQ(A.eval(Env) - B.eval(Env), Delta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AffineProperty, ::testing::Range(0, 25));

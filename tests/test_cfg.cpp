@@ -1,0 +1,283 @@
+//===- tests/test_cfg.cpp - augmented CFG and dominator tests -------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/DomTree.h"
+#include "frontend/Parser.h"
+#include "xform/Scalarize.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Program> P;
+  Cfg G;
+};
+
+Built build(const std::string &Src, bool Scalarize = false) {
+  DiagEngine D;
+  auto P = parseProgram(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  if (Scalarize)
+    scalarizeProgram(*P, D);
+  Cfg G = Cfg::build(*P->Routines[0]);
+  return {std::move(P), std::move(G)};
+}
+
+} // namespace
+
+TEST(Cfg, StraightLineSingleBlock) {
+  Built B = build(R"(
+program s
+param n = 4
+real a(n) distribute (block)
+begin
+  a(1) = 1
+  a(2) = 2
+end
+)");
+  // Entry node holds both statements; exit follows.
+  const Cfg &G = B.G;
+  EXPECT_EQ(G.numLoops(), 0u);
+  EXPECT_EQ(G.node(G.entry()).Stmts.size(), 2u);
+}
+
+TEST(Cfg, LoopHasAugmentedNodes) {
+  Built B = build(R"(
+program l
+param n = 4
+real a(n) distribute (block)
+begin
+  do i = 1, n
+    a(i) = 1
+  end do
+end
+)");
+  const Cfg &G = B.G;
+  ASSERT_EQ(G.numLoops(), 1u);
+  const CfgLoop &L = G.loop(0);
+  EXPECT_EQ(G.node(L.Preheader).Kind, NodeKind::Preheader);
+  EXPECT_EQ(G.node(L.Header).Kind, NodeKind::Header);
+  EXPECT_EQ(G.node(L.Postexit).Kind, NodeKind::Postexit);
+  // Zero-trip edge: preheader -> postexit (Figure 7).
+  const auto &PreSuccs = G.node(L.Preheader).Succs;
+  EXPECT_NE(std::find(PreSuccs.begin(), PreSuccs.end(), L.Postexit),
+            PreSuccs.end());
+  // Header exits to postexit; body has a back edge to the header.
+  const auto &HdrSuccs = G.node(L.Header).Succs;
+  EXPECT_NE(std::find(HdrSuccs.begin(), HdrSuccs.end(), L.Postexit),
+            HdrSuccs.end());
+  const auto &HdrPreds = G.node(L.Header).Preds;
+  EXPECT_EQ(HdrPreds.size(), 2u); // Preheader + back edge.
+}
+
+TEST(Cfg, NestingLevels) {
+  Built B = build(R"(
+program l
+param n = 4
+real a(n,n) distribute (block,block)
+begin
+  do i = 1, n
+    do j = 1, n
+      a(i,j) = 1
+    end do
+  end do
+end
+)");
+  const Cfg &G = B.G;
+  ASSERT_EQ(G.numLoops(), 2u);
+  const CfgLoop &Outer = G.loop(0);
+  const CfgLoop &Inner = G.loop(1);
+  EXPECT_EQ(Outer.Level, 1);
+  EXPECT_EQ(Inner.Level, 2);
+  EXPECT_EQ(Inner.Parent, Outer.Id);
+  // Preheader/postexit of the inner loop are at the outer level.
+  EXPECT_EQ(G.nestingLevel(Inner.Preheader), 1);
+  EXPECT_EQ(G.nestingLevel(Inner.Header), 2);
+  EXPECT_EQ(G.nestingLevel(Inner.Postexit), 1);
+  EXPECT_EQ(G.enclosingLoopAtLevel(Inner.Header, 1), Outer.Id);
+  EXPECT_EQ(G.enclosingLoopAtLevel(Inner.Header, 2), Inner.Id);
+}
+
+TEST(Cfg, StatementMaps) {
+  Built B = build(R"(
+program l
+param n = 4
+real a(n) distribute (block)
+begin
+  a(1) = 0
+  do i = 1, n
+    a(i) = 1
+  end do
+end
+)");
+  const Cfg &G = B.G;
+  const Routine &R = B.P->Routines[0] ? *B.P->Routines[0] : *B.P->Routines[0];
+  const auto *First = cast<AssignStmt>(R.body()[0]);
+  const auto *L = cast<LoopStmt>(R.body()[1]);
+  const auto *Body = cast<AssignStmt>(L->body()[0]);
+  EXPECT_EQ(G.nodeOf(First), G.entry());
+  EXPECT_EQ(G.indexOf(First), 0);
+  EXPECT_LT(G.preorderOf(First), G.preorderOf(Body));
+  EXPECT_EQ(G.loopNestOf(Body).size(), 1u);
+  EXPECT_EQ(G.loopNestOf(First).size(), 0u);
+  EXPECT_EQ(G.loopIdOf(L), G.loopNestOf(Body)[0]);
+}
+
+TEST(Cfg, IfJoinStructure) {
+  Built B = build(R"(
+program c
+param n = 4
+real a(n) distribute (block)
+begin
+  if (cond) then
+    a(1) = 1
+  else
+    a(2) = 2
+  end if
+  a(3) = 3
+end
+)");
+  const Cfg &G = B.G;
+  const Routine &R = *B.P->Routines[0];
+  const auto *I = cast<IfStmt>(R.body()[0]);
+  int Join = G.joinNodeOf(I);
+  EXPECT_EQ(G.node(Join).Preds.size(), 2u);
+  // The statement after the if lives in the join block.
+  const auto *After = cast<AssignStmt>(R.body()[1]);
+  EXPECT_EQ(G.nodeOf(After), Join);
+}
+
+TEST(DomTree, BasicFacts) {
+  Built B = build(R"(
+program d
+param n = 4
+real a(n) distribute (block)
+begin
+  if (cond) then
+    a(1) = 1
+  end if
+  do i = 1, n
+    a(i) = 2
+  end do
+end
+)");
+  const Cfg &G = B.G;
+  DomTree DT = DomTree::compute(G);
+  // Entry dominates everything; nothing strictly dominates entry.
+  for (unsigned N = 0; N != G.numNodes(); ++N) {
+    EXPECT_TRUE(DT.dominates(G.entry(), static_cast<int>(N)));
+    if (static_cast<int>(N) != G.entry()) {
+      EXPECT_FALSE(DT.dominates(static_cast<int>(N), G.entry()));
+    }
+  }
+  // idom is a strict dominator and depth increases along idom chains.
+  for (unsigned N = 0; N != G.numNodes(); ++N) {
+    int Id = DT.idom(static_cast<int>(N));
+    if (Id < 0)
+      continue;
+    EXPECT_TRUE(DT.properlyDominates(Id, static_cast<int>(N)));
+    EXPECT_EQ(DT.depth(static_cast<int>(N)), DT.depth(Id) + 1);
+  }
+}
+
+TEST(DomTree, LoopBodyDoesNotDominatePostexit) {
+  Built B = build(R"(
+program d
+param n = 4
+real a(n) distribute (block)
+begin
+  do i = 1, n
+    a(i) = 2
+  end do
+  a(1) = 3
+end
+)");
+  const Cfg &G = B.G;
+  DomTree DT = DomTree::compute(G);
+  const CfgLoop &L = G.loop(0);
+  // The zero-trip edge means neither the header nor the body dominate the
+  // postexit; the preheader does.
+  EXPECT_FALSE(DT.dominates(L.Header, L.Postexit));
+  EXPECT_TRUE(DT.dominates(L.Preheader, L.Postexit));
+  EXPECT_EQ(DT.idom(L.Postexit), L.Preheader);
+}
+
+TEST(DomTree, BranchesDoNotDominateJoin) {
+  Built B = build(R"(
+program d
+param n = 4
+real a(n) distribute (block)
+begin
+  if (cond) then
+    a(1) = 1
+  else
+    a(2) = 2
+  end if
+  a(3) = 3
+end
+)");
+  const Cfg &G = B.G;
+  DomTree DT = DomTree::compute(G);
+  const Routine &R = *B.P->Routines[0];
+  const auto *I = cast<IfStmt>(R.body()[0]);
+  int Join = G.joinNodeOf(I);
+  const auto *Then = cast<AssignStmt>(I->thenBody()[0]);
+  const auto *Else = cast<AssignStmt>(I->elseBody()[0]);
+  EXPECT_FALSE(DT.dominates(G.nodeOf(Then), Join));
+  EXPECT_FALSE(DT.dominates(G.nodeOf(Else), Join));
+}
+
+TEST(DomTree, SlotDominance) {
+  Built B = build(R"(
+program d
+param n = 4
+real a(n) distribute (block)
+begin
+  a(1) = 1
+  a(2) = 2
+end
+)");
+  const Cfg &G = B.G;
+  DomTree DT = DomTree::compute(G);
+  const Routine &R = *B.P->Routines[0];
+  const auto *S1 = cast<AssignStmt>(R.body()[0]);
+  const auto *S2 = cast<AssignStmt>(R.body()[1]);
+  EXPECT_TRUE(DT.slotDominates(G.slotBefore(S1), G.slotBefore(S2)));
+  EXPECT_TRUE(DT.slotDominates(G.slotAfter(S1), G.slotBefore(S2)));
+  EXPECT_FALSE(DT.slotDominates(G.slotBefore(S2), G.slotBefore(S1)));
+  EXPECT_TRUE(DT.slotDominates(G.slotBefore(S1), G.slotBefore(S1)));
+}
+
+/// Property: every reachable node's predecessors include its idom's
+/// dominance frontier relationship, checked on the scalarized shallow-like
+/// structure with many loops.
+TEST(DomTree, ScalesToScalarizedWorkload) {
+  Built B = build(R"(
+program d
+param n = 6
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  a = 1
+  b = 2
+  do t = 1, 2
+    a(2:n,1:n) = b(1:n-1,1:n)
+    b(2:n,1:n) = a(1:n-1,1:n)
+  end do
+end
+)",
+                  /*Scalarize=*/true);
+  const Cfg &G = B.G;
+  DomTree DT = DomTree::compute(G);
+  int Dominated = 0;
+  for (unsigned N = 0; N != G.numNodes(); ++N)
+    Dominated += DT.dominates(G.entry(), static_cast<int>(N));
+  EXPECT_EQ(Dominated, static_cast<int>(G.numNodes()));
+}

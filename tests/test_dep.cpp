@@ -1,0 +1,289 @@
+//===- tests/test_dep.cpp - dependence testing ----------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dep/DepTest.h"
+#include "frontend/Parser.h"
+#include "support/StrUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+namespace {
+
+/// Builds a routine from source, returning the (unique) def and use
+/// statements tagged by writing to arrays named "w" (def) and reading in a
+/// statement assigning "r" (use).
+struct DepCase {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<Cfg> G;
+  std::unique_ptr<DepTester> T;
+  const AssignStmt *Def = nullptr;
+  const AssignStmt *Use = nullptr;
+
+  const ArrayRef &useRef() const { return Use->rhs()[0].Ref; }
+};
+
+DepCase build(const std::string &Src) {
+  DiagEngine D;
+  DepCase C;
+  C.P = parseProgram(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  const Routine &R = *C.P->Routines[0];
+  C.G = std::make_unique<Cfg>(Cfg::build(R));
+  C.T = std::make_unique<DepTester>(*C.G);
+  R.forEachStmt([&](Stmt *S) {
+    if (auto *A = dyn_cast<AssignStmt>(S)) {
+      if (!A->lhsIsScalar()) {
+        const std::string &Name = R.array(A->lhs().ArrayId).Name;
+        if (Name == "w")
+          C.Def = A;
+        if (Name == "r")
+          C.Use = A;
+      }
+    }
+  });
+  EXPECT_NE(C.Def, nullptr);
+  EXPECT_NE(C.Use, nullptr);
+  return C;
+}
+
+} // namespace
+
+TEST(Dep, LoopIndependentSameIteration) {
+  DepCase C = build(R"(
+program d
+param n = 8
+real w(n) distribute (block)
+real r(n) distribute (block)
+begin
+  do i = 1, n
+    w(i) = 0
+    r(i) = w(i)
+  end do
+end
+)");
+  // w(i) -> w(i): all-equal direction, def textually first: dependence
+  // pinned at the common level 1; not carried.
+  EXPECT_TRUE(C.T->isArrayDep(C.Def, C.Use, C.useRef(), 1));
+  EXPECT_EQ(C.T->depLevel(C.Def, C.Use, C.useRef()), 1);
+}
+
+TEST(Dep, CarriedByDistanceOne) {
+  DepCase C = build(R"(
+program d
+param n = 8
+real w(n) distribute (block)
+real r(n) distribute (block)
+begin
+  do i = 2, n
+    r(i) = w(i-1)
+    w(i) = 0
+  end do
+end
+)");
+  // Write w(i) at iteration i, read w(i-1) at iteration i+1: carried at
+  // level 1 even though the def is textually after the use.
+  EXPECT_TRUE(C.T->isArrayDep(C.Def, C.Use, C.useRef(), 1));
+}
+
+TEST(Dep, AntiOrderOnlyIsNoFlowDep) {
+  DepCase C = build(R"(
+program d
+param n = 8
+real w(n) distribute (block)
+real r(n) distribute (block)
+begin
+  do i = 2, n
+    r(i) = w(i+1)
+    w(i) = 0
+  end do
+end
+)");
+  // Read w(i+1) at iteration i; w(i+1) is written at iteration i+1, after
+  // the read: direction '>' only — no flow dependence at any level.
+  EXPECT_EQ(C.T->depLevel(C.Def, C.Use, C.useRef()), 0);
+}
+
+TEST(Dep, ZivMismatch) {
+  DepCase C = build(R"(
+program d
+param n = 8
+real w(n,n) distribute (block,*)
+real r(n,n) distribute (block,*)
+begin
+  do i = 1, n
+    w(i,3) = 0
+    r(i,1) = w(i,4)
+  end do
+end
+)");
+  EXPECT_EQ(C.T->depLevel(C.Def, C.Use, C.useRef()), 0);
+}
+
+TEST(Dep, GcdParityScreen) {
+  // The Figure 4 situation: writes to even columns never feed reads of odd
+  // columns.
+  DepCase C = build(R"(
+program d
+param n = 16
+real w(n,n) distribute (block,*)
+real r(n,n) distribute (block,*)
+begin
+  do s = 0, 7
+    w(1,2*s+2) = 0
+  end do
+  do i = 2, n
+    do j = 1, n, 2
+      r(i,j) = w(i-1,j)
+    end do
+  end do
+end
+)");
+  EXPECT_EQ(C.T->depLevel(C.Def, C.Use, C.useRef()), 0);
+}
+
+TEST(Dep, GcdParityMatches) {
+  DepCase C = build(R"(
+program d
+param n = 16
+real w(n,n) distribute (block,*)
+real r(n,n) distribute (block,*)
+begin
+  do s = 0, 7
+    w(1,2*s+1) = 0
+  end do
+  do i = 2, n
+    do j = 1, n, 2
+      r(i,j) = w(i-1,j)
+    end do
+  end do
+end
+)");
+  // Odd columns written, odd columns read: dependence possible (no common
+  // loops -> level-0 flow through direction constraints).
+  std::vector<DirConstraint> Dirs;
+  EXPECT_TRUE(C.T->directionConstraints(C.Def, C.Use, C.useRef(), Dirs));
+  EXPECT_TRUE(Dirs.empty()); // CNL == 0.
+}
+
+TEST(Dep, DisjointConstantRanges) {
+  DepCase C = build(R"(
+program d
+param n = 16
+real w(n) distribute (block)
+real r(n) distribute (block)
+begin
+  do i = 1, 4
+    w(i) = 0
+  end do
+  do i = 9, 12
+    r(i) = w(i)
+  end do
+end
+)");
+  std::vector<DirConstraint> Dirs;
+  // Value ranges [1,4] and [9,12] are disjoint.
+  EXPECT_FALSE(C.T->directionConstraints(C.Def, C.Use, C.useRef(), Dirs));
+}
+
+TEST(Dep, VectorizationLevel) {
+  DepCase C = build(R"(
+program d
+param n = 8
+real w(n,n) distribute (block,block)
+real r(n,n) distribute (block,block)
+begin
+  do i = 2, n
+    do j = 1, n
+      w(i,j) = 0
+    end do
+    do j = 1, n
+      r(i,j) = w(i-1,j)
+    end do
+  end do
+end
+)");
+  // Carried at level 1 (the i loop): communication for the use can be
+  // vectorized out of the j loop but not the i loop.
+  EXPECT_TRUE(C.T->isArrayDep(C.Def, C.Use, C.useRef(), 1));
+  EXPECT_FALSE(C.T->isArrayDep(C.Def, C.Use, C.useRef(), 2));
+  EXPECT_EQ(C.T->depLevel(C.Def, C.Use, C.useRef()), 1);
+}
+
+TEST(Dep, LoopIndependentAtOuterLevel) {
+  DepCase C = build(R"(
+program d
+param n = 8
+real w(n,n) distribute (block,block)
+real r(n,n) distribute (block,block)
+begin
+  do t = 1, 4
+    do i = 1, n
+      w(i,1) = 0
+    end do
+    do i = 1, n
+      r(i,1) = w(i,1)
+    end do
+  end do
+end
+)");
+  // Same t iteration, def nest before use nest: loop-independent at the
+  // common level 1.
+  EXPECT_TRUE(C.T->isArrayDep(C.Def, C.Use, C.useRef(), 1));
+  EXPECT_EQ(C.T->commonNestingLevel(C.Def, C.Use), 1);
+}
+
+TEST(Dep, LevelBeyondCommonNestIsFalse) {
+  DepCase C = build(R"(
+program d
+param n = 8
+real w(n) distribute (block)
+real r(n) distribute (block)
+begin
+  do i = 1, n
+    w(i) = 0
+  end do
+  do i = 1, n
+    r(i) = w(i)
+  end do
+end
+)");
+  // CNL == 0: IsArrayDep is false at every (1-based) level.
+  EXPECT_FALSE(C.T->isArrayDep(C.Def, C.Use, C.useRef(), 1));
+  EXPECT_EQ(C.T->depLevel(C.Def, C.Use, C.useRef()), 0);
+}
+
+/// Parameterized sweep: strong-SIV distance sign determines the carried
+/// direction for every offset in [-3, 3].
+class SivSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SivSweep, DistanceDirection) {
+  int Off = GetParam();
+  std::string Src = strFormat(R"(
+program d
+param n = 32
+real w(n) distribute (block)
+real r(n) distribute (block)
+begin
+  do i = 8, 24
+    r(i) = w(i%+d)
+    w(i) = 0
+  end do
+end
+)",
+                              Off);
+  DepCase C = build(Src);
+  // Flow dependence exists iff the write of some earlier-or-equal iteration
+  // produces the read value: read w(i+Off) at iter i is written at iter
+  // i+Off; flow requires i+Off < i  <=>  Off < 0 (carried), or Off == 0
+  // with the def textually before the use (it is not).
+  bool Expect = Off < 0;
+  EXPECT_EQ(C.T->depLevel(C.Def, C.Use, C.useRef()) > 0, Expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, SivSweep, ::testing::Range(-3, 4));

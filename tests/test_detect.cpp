@@ -1,0 +1,286 @@
+//===- tests/test_detect.cpp - communication detection tests --------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Detect.h"
+#include "frontend/Parser.h"
+#include "xform/Scalarize.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<AnalysisContext> Ctx;
+  std::vector<CommEntry> Entries;
+};
+
+Built build(const std::string &Src, bool Scalarize = true) {
+  DiagEngine D;
+  Built B;
+  B.P = parseProgram(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  if (Scalarize)
+    scalarizeProgram(*B.P, D);
+  B.Ctx = std::make_unique<AnalysisContext>(*B.P->Routines[0]);
+  PlacementOptions Opts;
+  B.Entries = detectCommunication(*B.Ctx, Opts);
+  return B;
+}
+
+int countKind(const std::vector<CommEntry> &Es, CommKind K) {
+  int N = 0;
+  for (const CommEntry &E : Es)
+    N += E.M.Kind == K;
+  return N;
+}
+
+} // namespace
+
+TEST(Detect, AlignedCopyIsLocal) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  a(1:n,1:n) = b(1:n,1:n)
+end
+)");
+  EXPECT_TRUE(B.Entries.empty());
+}
+
+TEST(Detect, ReplicatedArrayIsLocal) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real c(n,n) distribute (*,*)
+begin
+  a(1:n,1:n) = c(1:n,1:n)
+end
+)");
+  EXPECT_TRUE(B.Entries.empty());
+}
+
+TEST(Detect, SimpleShift) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  a(2:n,1:n) = b(1:n-1,1:n)
+end
+)");
+  ASSERT_EQ(B.Entries.size(), 1u);
+  const CommEntry &E = B.Entries[0];
+  EXPECT_EQ(E.M.Kind, CommKind::Shift);
+  ASSERT_EQ(E.M.Offsets.size(), 2u);
+  EXPECT_EQ(E.M.Offsets[0], -1);
+  EXPECT_EQ(E.M.Offsets[1], 0);
+}
+
+TEST(Detect, StarDimsIgnoredForMapping) {
+  Built B = build(R"(
+program d
+param n = 8
+real g(n,n,n) distribute (*,block,block)
+real w(n,n) distribute (block,block)
+begin
+  do i = 2, n
+    w(1:n,1:n) = g(i-1,1:n,1:n)
+  end do
+end
+)");
+  // The i-1 subscript is on the non-distributed dim: aligned copy.
+  EXPECT_TRUE(B.Entries.empty());
+}
+
+TEST(Detect, DiagonalDecomposesIntoAugmentedAxes) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  a(2:n,2:n) = b(1:n-1,1:n-1)
+end
+)");
+  ASSERT_EQ(B.Entries.size(), 2u);
+  const CommEntry &E0 = B.Entries[0];
+  const CommEntry &E1 = B.Entries[1];
+  EXPECT_EQ(E0.M.Offsets, (std::vector<int64_t>{-1, 0}));
+  EXPECT_EQ(E1.M.Offsets, (std::vector<int64_t>{0, -1}));
+  // Phases share a diagonal id and carry the sibling dim's augmentation.
+  ASSERT_EQ(E0.DiagIds.size(), 1u);
+  EXPECT_EQ(E0.DiagIds, E1.DiagIds);
+  EXPECT_EQ(E0.Augment[1][0], 1); // Phase 0 extends the column side.
+  EXPECT_EQ(E1.Augment[0][0], 1); // Phase 1 extends the row side.
+}
+
+TEST(Detect, DiagonalKeptWhenSubsumptionDisabled) {
+  DiagEngine D;
+  auto P = parseProgram(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  a(2:n,2:n) = b(1:n-1,1:n-1)
+end
+)",
+                        D);
+  scalarizeProgram(*P, D);
+  AnalysisContext Ctx(*P->Routines[0]);
+  PlacementOptions Opts;
+  Opts.SubsumeDiagonals = false;
+  auto Entries = detectCommunication(Ctx, Opts);
+  ASSERT_EQ(Entries.size(), 1u);
+  EXPECT_EQ(Entries[0].M.Offsets, (std::vector<int64_t>{-1, -1}));
+}
+
+TEST(Detect, PerStatementCoalescing) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  a(2:n-1,1:n) = b(1:n-2,1:n) + b(3:n,1:n) + b(1:n-2,1:n)
+end
+)");
+  // Two directions on b; the duplicated -1 reference coalesces.
+  ASSERT_EQ(B.Entries.size(), 2u);
+  EXPECT_EQ(countKind(B.Entries, CommKind::Shift), 2);
+  int TotalRefs = 0;
+  for (const CommEntry &E : B.Entries)
+    TotalRefs += static_cast<int>(E.Refs.size());
+  EXPECT_EQ(TotalRefs, 3);
+}
+
+TEST(Detect, WidestOffsetWinsInCoalescing) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  a(3:n,1:n) = b(2:n-1,1:n) + b(1:n-2,1:n)
+end
+)");
+  // Offsets -1 and -2 in the same direction coalesce to reach -2.
+  ASSERT_EQ(B.Entries.size(), 1u);
+  EXPECT_EQ(B.Entries[0].M.Offsets[0], -2);
+}
+
+TEST(Detect, SumBecomesReduce) {
+  Built B = build(R"(
+program d
+param n = 8
+real g(n,n) distribute (block,block)
+real s
+begin
+  s = sum(g(1,1:n)) + sum(g(1:n,1:n))
+end
+)");
+  ASSERT_EQ(B.Entries.size(), 2u);
+  EXPECT_EQ(B.Entries[0].M.Kind, CommKind::Reduce);
+  // Row sum reduces only the (ranged) second template dim; the full sum
+  // reduces both.
+  EXPECT_EQ(B.Entries[0].M.ReduceDims, (std::vector<uint8_t>{0, 1}));
+  EXPECT_EQ(B.Entries[1].M.ReduceDims, (std::vector<uint8_t>{1, 1}));
+}
+
+TEST(Detect, ScalarReadOfDistributedElement) {
+  Built B = build(R"(
+program d
+param n = 8
+real g(n,n) distribute (block,block)
+real s
+begin
+  s = g(3,4)
+end
+)");
+  ASSERT_EQ(B.Entries.size(), 1u);
+  EXPECT_EQ(B.Entries[0].M.Kind, CommKind::Bcast);
+}
+
+TEST(Detect, MisalignedIsGeneral) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real c(n,32) distribute (block,block)
+begin
+  a(1:n,1:n) = c(1:n,1:n)
+end
+)");
+  ASSERT_EQ(B.Entries.size(), 1u);
+  EXPECT_EQ(B.Entries[0].M.Kind, CommKind::General);
+}
+
+TEST(Detect, TransposeIsGeneral) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  do i = 1, n
+    do j = 1, n
+      a(i,j) = b(j,i)
+    end do
+  end do
+end
+)");
+  ASSERT_EQ(B.Entries.size(), 1u);
+  EXPECT_EQ(B.Entries[0].M.Kind, CommKind::General);
+}
+
+TEST(Detect, AsdOfEntryExpandsByLevel) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  do t = 1, 2
+    a(2:n,1:n) = b(1:n-1,1:n)
+  end do
+end
+)");
+  ASSERT_EQ(B.Entries.size(), 1u);
+  // At level 0 (outside everything) the whole section is exposed.
+  Asd At0 = asdOfEntry(*B.Ctx, B.Entries[0], 0);
+  EXPECT_EQ(At0.D.numElems(), 7 * 8);
+  // At level 3 (inside the element loops) a single element remains.
+  Asd At3 = asdOfEntry(*B.Ctx, B.Entries[0], 3);
+  EXPECT_EQ(At3.D.numElems(), 1);
+}
+
+TEST(Detect, AugmentClampsToArrayBounds) {
+  Built B = build(R"(
+program d
+param n = 8
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  a(2:n,2:n) = b(1:n-1,1:n-1)
+end
+)");
+  ASSERT_EQ(B.Entries.size(), 2u);
+  for (const CommEntry &E : B.Entries) {
+    Asd A = asdOfEntry(*B.Ctx, E, 0);
+    for (unsigned D = 0; D != A.D.rank(); ++D) {
+      EXPECT_GE(A.D.dim(D).Lo.constValue(), 1);
+      EXPECT_LE(A.D.dim(D).Hi.constValue(), 8);
+    }
+  }
+}

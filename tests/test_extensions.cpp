@@ -1,0 +1,151 @@
+//===- tests/test_extensions.cpp - Section 6 extensions -------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the features the paper sketches as extensions/future work:
+/// deferred reduction placement via the reversed analysis (Section 6.2) and
+/// the exhaustive optimal placer of the NP-hardness discussion (Section
+/// 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compile.h"
+#include "lower/Schedule.h"
+#include "runtime/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+namespace {
+
+// Two reductions computed at different statements whose results are both
+// consumed later: without deferral they sit at their own statements; with
+// the reversed analysis both can move down to the common consumer and
+// combine into one call.
+const char *TwoSums = R"(
+program sums
+param n = 12
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+real d(n,n) distribute (block,block)
+real s1
+real s2
+begin
+  a = 1
+  b = 2
+  d = 0
+  do t = 1, 2
+    s1 = sum(a(1,1:n))
+    b(2:n,1:n) = a(1:n-1,1:n)
+    s2 = sum(a(2,1:n))
+    d(1:n,1:n) = b(1:n,1:n) + s1 + s2
+    a(1:n,1:n) = d(1:n,1:n)
+  end do
+end
+)";
+
+CompileResult compile(const char *Src, Strategy S, bool Defer) {
+  CompileOptions Opts;
+  Opts.Placement.Strat = S;
+  Opts.Placement.DeferReductions = Defer;
+  CompileResult R = compileSource(Src, Opts);
+  EXPECT_TRUE(R.Ok) << R.Errors;
+  return R;
+}
+
+} // namespace
+
+TEST(DeferReductions, CombinesAcrossStatements) {
+  CompileResult Off = compile(TwoSums, Strategy::Global, false);
+  CompileResult On = compile(TwoSums, Strategy::Global, true);
+  EXPECT_EQ(Off.Routines[0].Plan.Stats.groups(CommKind::Reduce), 2);
+  EXPECT_EQ(On.Routines[0].Plan.Stats.groups(CommKind::Reduce), 1);
+}
+
+TEST(DeferReductions, DeferredScheduleVerifies) {
+  CompileResult On = compile(TwoSums, Strategy::Global, true);
+  const RoutineResult &RR = On.Routines[0];
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
+  EXPECT_TRUE(V.Ok) << V.str();
+}
+
+TEST(DeferReductions, CombineStaysBeforeFirstReader) {
+  CompileResult On = compile(TwoSums, Strategy::Global, true);
+  const RoutineResult &RR = On.Routines[0];
+  // The combined group must dominate the statement reading s1/s2.
+  const AssignStmt *Reader = nullptr;
+  RR.R->forEachStmt([&](Stmt *S) {
+    if (auto *A = dyn_cast<AssignStmt>(S))
+      for (const RhsTerm &T : A->rhs())
+        if (T.K == RhsTerm::Kind::Scalar && !Reader)
+          Reader = A;
+  });
+  ASSERT_NE(Reader, nullptr);
+  for (const CommGroup &G : RR.Plan.Groups) {
+    if (G.Kind == CommKind::Reduce) {
+      EXPECT_TRUE(RR.Ctx->slotDominatesUse(G.Placement, Reader));
+    }
+  }
+}
+
+TEST(DeferReductions, NoEffectOnBaselines) {
+  CompileResult Orig = compile(TwoSums, Strategy::Orig, true);
+  EXPECT_EQ(Orig.Routines[0].Plan.Stats.groups(CommKind::Reduce), 2);
+}
+
+TEST(DeferReductions, GravityImprovesBeyondPaper) {
+  // gravity's eight sums are all consumed by the g-update at the end of the
+  // iteration; the reversed analysis defers both four-sum sets to that
+  // point, where they combine into a *single* global operation — one better
+  // than the paper's "two parallel sets of four" (its prototype had no
+  // reduction candidate marking, Section 6.2). NNC counts are untouched.
+  CompileOptions Opts;
+  Opts.Placement.DeferReductions = true;
+  Opts.Params["n"] = 12;
+  Opts.Params["nsteps"] = 2;
+  CompileResult R = compileSource(gravityWorkload().Source, Opts);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Routines[0].Plan.Stats.groups(CommKind::Reduce), 1);
+  EXPECT_EQ(R.Routines[0].Plan.Stats.groups(CommKind::Shift), 4);
+}
+
+TEST(DeferReductions, AllWorkloadsStillVerify) {
+  for (const Workload *W : evaluationWorkloads()) {
+    CompileOptions Opts;
+    Opts.Placement.DeferReductions = true;
+    Opts.Params["n"] = 12;
+    Opts.Params["nsteps"] = 2;
+    CompileResult R = compileSource(W->Source, Opts);
+    ASSERT_TRUE(R.Ok) << R.Errors;
+    for (const RoutineResult &RR : R.Routines) {
+      ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+      VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
+      EXPECT_TRUE(V.Ok) << W->Name << ": " << V.str();
+    }
+  }
+}
+
+TEST(EarliestCombine, SubsetOfGlobalQuality) {
+  // The earliest-placement-with-combining strawman never beats the global
+  // algorithm on call sites.
+  for (const Workload *W : evaluationWorkloads()) {
+    CompileOptions A, B;
+    A.Placement.Strat = Strategy::EarliestCombine;
+    B.Placement.Strat = Strategy::Global;
+    A.Params["n"] = B.Params["n"] = 12;
+    A.Params["nsteps"] = B.Params["nsteps"] = 2;
+    CompileResult RA = compileSource(W->Source, A);
+    CompileResult RB = compileSource(W->Source, B);
+    for (size_t I = 0; I != RA.Routines.size(); ++I)
+      EXPECT_GE(RA.Routines[I].Plan.Stats.totalGroups(),
+                RB.Routines[I].Plan.Stats.totalGroups())
+          << W->Name;
+  }
+}

@@ -1,0 +1,160 @@
+//===- tests/test_ir.cpp - AST / builder / printer tests ------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+TEST(ArrayDecl, BoundsAndExtents) {
+  Routine R("r");
+  int Id = R.addArrayBounds("a", {0, 1}, {17, 8}, {DistKind::Block,
+                                                    DistKind::Star});
+  const ArrayDecl &A = R.array(Id);
+  EXPECT_EQ(A.rank(), 2u);
+  EXPECT_EQ(A.extent(0), 18);
+  EXPECT_EQ(A.extent(1), 8);
+  EXPECT_EQ(A.numElems(), 18 * 8);
+  EXPECT_TRUE(A.isDistributed());
+}
+
+TEST(ArrayDecl, ReplicatedArray) {
+  Routine R("r");
+  int Id = R.addArray("a", {4, 4}, {DistKind::Star, DistKind::Star});
+  EXPECT_FALSE(R.array(Id).isDistributed());
+  EXPECT_EQ(templateSigOf(R.array(Id)).rank(), 0u);
+}
+
+TEST(TemplateSig, EqualityIsAlignment) {
+  Routine R("r");
+  int A = R.addArray("a", {16, 16}, {DistKind::Block, DistKind::Block});
+  int B = R.addArray("b", {8, 16, 16},
+                     {DistKind::Star, DistKind::Block, DistKind::Block});
+  int C = R.addArray("c", {16, 32}, {DistKind::Block, DistKind::Block});
+  // A 3-d array with a collapsed dim aligns with a 2-d one of matching
+  // distributed extents; different extents do not align.
+  EXPECT_TRUE(templateSigOf(R.array(A)) == templateSigOf(R.array(B)));
+  EXPECT_FALSE(templateSigOf(R.array(A)) == templateSigOf(R.array(C)));
+}
+
+TEST(LoopStmt, ConstTripCount) {
+  Routine R("r");
+  int V = R.addLoopVar("i");
+  LoopStmt *L1 = R.newLoop(V, AffineExpr::constant(2),
+                           AffineExpr::constant(10), 2);
+  EXPECT_EQ(L1->constTripCount(), 5);
+  LoopStmt *L2 = R.newLoop(V, AffineExpr::constant(5),
+                           AffineExpr::constant(4), 1);
+  EXPECT_EQ(L2->constTripCount(), 0);
+  LoopStmt *L3 = R.newLoop(V, AffineExpr::constant(1), AffineExpr::var(V), 1);
+  EXPECT_EQ(L3->constTripCount(), -1);
+}
+
+TEST(Builder, StructuredConstruction) {
+  Routine R("demo");
+  RoutineBuilder B(R);
+  B.array("a", {16}, {DistKind::Block}).array("b", {16}, {DistKind::Block});
+  B.scalar("s");
+
+  B.assignLit(B.whole("a"), 1.0);
+  B.beginLoop("i", B.c(2), B.c(16));
+  B.assign(B.ref("b", {B.v("i")}), {B.ref("a", {B.v("i") - 1})});
+  B.endLoop();
+  B.beginIf("cond");
+  B.assignLit(B.whole("b"), 0.0);
+  B.beginElse();
+  B.sumInto("s", B.whole("a"));
+  B.endIf();
+  EXPECT_TRUE(B.balanced());
+
+  ASSERT_EQ(R.body().size(), 3u);
+  EXPECT_EQ(R.body()[0]->kind(), StmtKind::Assign);
+  EXPECT_EQ(R.body()[1]->kind(), StmtKind::Loop);
+  EXPECT_EQ(R.body()[2]->kind(), StmtKind::If);
+
+  const auto *L = cast<LoopStmt>(R.body()[1]);
+  ASSERT_EQ(L->body().size(), 1u);
+  const auto *S = cast<AssignStmt>(L->body()[0]);
+  EXPECT_EQ(S->lhs().ArrayId, R.findArray("b"));
+  EXPECT_TRUE(S->lhs().Subs[0].isElem());
+
+  const auto *I = cast<IfStmt>(R.body()[2]);
+  EXPECT_EQ(I->thenBody().size(), 1u);
+  EXPECT_EQ(I->elseBody().size(), 1u);
+  const auto *Sum = cast<AssignStmt>(I->elseBody()[0]);
+  EXPECT_TRUE(Sum->lhsIsScalar());
+  EXPECT_EQ(Sum->rhs()[0].K, RhsTerm::Kind::SumReduce);
+}
+
+TEST(Builder, LoopVarScoping) {
+  Routine R("demo");
+  RoutineBuilder B(R);
+  B.array("a", {8, 8}, {DistKind::Block, DistKind::Block});
+  B.beginLoop("i", B.c(1), B.c(8));
+  AffineExpr Outer = B.v("i");
+  B.beginLoop("i", B.c(1), B.c(4)); // Shadows the outer i.
+  AffineExpr Inner = B.v("i");
+  B.endLoop();
+  B.endLoop();
+  EXPECT_FALSE(Outer == Inner);
+}
+
+TEST(Builder, WholeRefCoversDeclaredBounds) {
+  Routine R("demo");
+  RoutineBuilder B(R);
+  B.arrayBounds("g", {0, 1}, {9, 8}, {DistKind::Block, DistKind::Block});
+  ArrayRef W = B.whole("g");
+  ASSERT_EQ(W.Subs.size(), 2u);
+  EXPECT_TRUE(W.Subs[0].isRange());
+  EXPECT_EQ(W.Subs[0].Lo.constValue(), 0);
+  EXPECT_EQ(W.Subs[0].Hi.constValue(), 9);
+  EXPECT_EQ(W.Subs[1].Lo.constValue(), 1);
+}
+
+TEST(Routine, ForEachStmtVisitsAll) {
+  Routine R("demo");
+  RoutineBuilder B(R);
+  B.array("a", {8}, {DistKind::Block});
+  B.assignLit(B.whole("a"), 0);
+  B.beginLoop("i", B.c(1), B.c(8));
+  B.assignLit(B.ref("a", {B.v("i")}), 1);
+  B.beginIf("c");
+  B.assignLit(B.ref("a", {B.v("i")}), 2);
+  B.endIf();
+  B.endLoop();
+  int Count = 0;
+  R.forEachStmt([&](Stmt *) { ++Count; });
+  EXPECT_EQ(Count, 5); // assign, loop, assign, if, assign.
+}
+
+TEST(Printer, RoundTripText) {
+  Routine R("demo");
+  RoutineBuilder B(R);
+  B.array("a", {16, 16}, {DistKind::Block, DistKind::Star});
+  B.beginLoop("i", B.c(2), B.c(16));
+  B.assign(B.ref("a", {B.v("i"), B.c(3)}),
+           {B.ref("a", {B.v("i") - 1, B.c(3)})});
+  B.endLoop();
+  std::string Text = printRoutine(R);
+  EXPECT_NE(Text.find("real a(16,16) distribute (BLOCK,*)"),
+            std::string::npos);
+  EXPECT_NE(Text.find("do i = 2, 16"), std::string::npos);
+  EXPECT_NE(Text.find("a(i,3) = a(i-1,3)"), std::string::npos);
+}
+
+TEST(Casting, IsaDynCast) {
+  Routine R("demo");
+  RoutineBuilder B(R);
+  B.array("a", {8}, {DistKind::Block});
+  Stmt *S = B.assignLit(B.whole("a"), 1);
+  EXPECT_TRUE(isa<AssignStmt>(S));
+  EXPECT_FALSE(isa<LoopStmt>(S));
+  EXPECT_NE(dyn_cast<AssignStmt>(S), nullptr);
+  EXPECT_EQ(dyn_cast<IfStmt>(S), nullptr);
+}

@@ -1,0 +1,368 @@
+//===- tests/test_runtime.cpp - runtime substrate tests -------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compile.h"
+#include "lower/Schedule.h"
+#include "runtime/CostModel.h"
+#include "runtime/Simulate.h"
+#include "runtime/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+//===----------------------------------------------------------------------===//
+// Machine profiles (the Figure 5 curves).
+//===----------------------------------------------------------------------===//
+
+TEST(Machine, BandwidthSaturates) {
+  MachineProfile M = MachineProfile::sp2();
+  EXPECT_LT(M.netBandwidth(64), 0.1 * M.PeakBandwidth);
+  EXPECT_GT(M.netBandwidth(1 << 20), 0.95 * M.PeakBandwidth);
+  // Monotone in message size.
+  double Prev = 0;
+  for (double S = 16; S <= (1 << 22); S *= 2) {
+    double B = M.netBandwidth(S);
+    EXPECT_GE(B, Prev);
+    Prev = B;
+  }
+}
+
+TEST(Machine, BcopyCacheKnee) {
+  MachineProfile M = MachineProfile::sp2();
+  EXPECT_EQ(M.bcopyBandwidth(1024), M.BcopyCachePeak);
+  EXPECT_LT(M.bcopyBandwidth(64 * M.CacheBytes), 1.1 * M.BcopyDramPeak);
+  // "bcopy bandwidth is barely twice message bandwidth beyond cache size".
+  double Ratio = M.bcopyBandwidth(8e6) / M.netBandwidth(8e6);
+  EXPECT_GT(Ratio, 1.5);
+  EXPECT_LT(Ratio, 3.0);
+}
+
+TEST(Machine, Sp2BeatsNow) {
+  MachineProfile S = MachineProfile::sp2(), N = MachineProfile::now();
+  EXPECT_LT(S.SendOverhead + S.RecvOverhead,
+            N.SendOverhead + N.RecvOverhead);
+  EXPECT_GT(S.PeakBandwidth, N.PeakBandwidth);
+  // Startup dominates small messages on both machines.
+  EXPECT_GT(S.messageTime(8), 0.9 * (S.SendOverhead + S.RecvOverhead));
+}
+
+TEST(Machine, AmortizationBelowCache) {
+  // "Most of the message startup amortization benefits occur at message
+  // sizes much smaller than the cache limit."
+  MachineProfile M = MachineProfile::sp2();
+  double S = 8;
+  while (M.netBandwidth(S) < 0.5 * M.PeakBandwidth)
+    S *= 2;
+  EXPECT_LT(S, M.CacheBytes / 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Processor grids.
+//===----------------------------------------------------------------------===//
+
+TEST(Grid, Factorization) {
+  EXPECT_EQ(ProcGrid::factorize(25, 2), (std::vector<int>{5, 5}));
+  EXPECT_EQ(ProcGrid::factorize(8, 2), (std::vector<int>{4, 2}));
+  EXPECT_EQ(ProcGrid::factorize(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(ProcGrid::factorize(7, 2), (std::vector<int>{7, 1}));
+  EXPECT_EQ(ProcGrid::factorize(25, 1), (std::vector<int>{25}));
+}
+
+TEST(Grid, BlockOwnership) {
+  Routine R("g");
+  int A = R.addArray("a", {16, 16}, {DistKind::Block, DistKind::Block});
+  ProcGrid G = ProcGrid::forArray(R.array(A), 4);
+  EXPECT_EQ(G.numProcs(), 4);
+  EXPECT_EQ(G.rank(), 2u);
+  // 2x2 grid, 8x8 blocks.
+  EXPECT_EQ(G.ownerOfElement({1, 1}), 0);
+  EXPECT_EQ(G.ownerOfElement({1, 9}), 1);
+  EXPECT_EQ(G.ownerOfElement({9, 1}), 2);
+  EXPECT_EQ(G.ownerOfElement({16, 16}), 3);
+  int64_t Lo, Hi;
+  G.dim(0).ownedRange(1, Lo, Hi);
+  EXPECT_EQ(Lo, 9);
+  EXPECT_EQ(Hi, 16);
+}
+
+TEST(Grid, LinearizeRoundTrip) {
+  Routine R("g");
+  int A = R.addArray("a", {12, 12, 12},
+                     {DistKind::Block, DistKind::Block, DistKind::Block});
+  ProcGrid G = ProcGrid::forArray(R.array(A), 8);
+  for (int P = 0; P != 8; ++P)
+    EXPECT_EQ(G.linearize(G.coordsOf(P)), P);
+}
+
+TEST(Grid, CyclicOwnership) {
+  Routine R("g");
+  int A = R.addArray("a", {10}, {DistKind::Cyclic});
+  ProcGrid G = ProcGrid::forArray(R.array(A), 3);
+  EXPECT_EQ(G.ownerOfElement({1}), 0);
+  EXPECT_EQ(G.ownerOfElement({2}), 1);
+  EXPECT_EQ(G.ownerOfElement({4}), 0);
+}
+
+TEST(Grid, StarDimsExcluded) {
+  Routine R("g");
+  int A = R.addArray("g", {8, 16, 16},
+                     {DistKind::Star, DistKind::Block, DistKind::Block});
+  ProcGrid G = ProcGrid::forArray(R.array(A), 4);
+  EXPECT_EQ(G.rank(), 2u);
+  // Dim 0 never affects ownership.
+  EXPECT_EQ(G.ownerOfElement({1, 1, 1}), G.ownerOfElement({8, 1, 1}));
+}
+
+//===----------------------------------------------------------------------===//
+// Cost model.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+RoutineResult analyzed(const std::string &Src, Strategy S, int64_t N) {
+  CompileOptions Opts;
+  Opts.Placement.Strat = S;
+  Opts.Params["n"] = N;
+  Opts.Params["nsteps"] = 2;
+  static std::vector<std::unique_ptr<CompileResult>> Keep;
+  Keep.push_back(std::make_unique<CompileResult>(compileSource(Src, Opts)));
+  EXPECT_TRUE(Keep.back()->Ok) << Keep.back()->Errors;
+  return std::move(Keep.back()->Routines[0]);
+}
+
+} // namespace
+
+TEST(CostModel, ShiftScalesWithBoundary) {
+  RoutineResult Small = analyzed(shallowWorkload().Source, Strategy::Global,
+                                 24);
+  RoutineResult Large = analyzed(shallowWorkload().Source, Strategy::Global,
+                                 96);
+  MachineProfile M = MachineProfile::sp2();
+  std::vector<int64_t> Env(64, 0);
+  double SmallT = 0, LargeT = 0;
+  for (const CommGroup &G : Small.Plan.Groups)
+    SmallT += groupCost(*Small.Ctx, G, M, 25, Env).Time;
+  for (const CommGroup &G : Large.Plan.Groups)
+    LargeT += groupCost(*Large.Ctx, G, M, 25, Env).Time;
+  // Boundary data grows linearly in n; time grows but sublinearly vs
+  // interior (startup amortization).
+  EXPECT_GT(LargeT, SmallT);
+  EXPECT_LT(LargeT, SmallT * 4);
+}
+
+TEST(CostModel, ReduceCostsLogStages) {
+  RoutineResult RR = analyzed(gravityWorkload().Source, Strategy::Global, 12);
+  MachineProfile M = MachineProfile::sp2();
+  std::vector<int64_t> Env(64, 2);
+  for (const CommGroup &G : RR.Plan.Groups) {
+    if (G.Kind != CommKind::Reduce)
+      continue;
+    CommCost C25 = groupCost(*RR.Ctx, G, M, 25, Env);
+    CommCost C4 = groupCost(*RR.Ctx, G, M, 4, Env);
+    EXPECT_GT(C25.Time, C4.Time); // More stages on more processors.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Simulator.
+//===----------------------------------------------------------------------===//
+
+TEST(Simulate, TimeGrowsWithProblemSize) {
+  MachineProfile M = MachineProfile::sp2();
+  double Prev = 0;
+  for (int64_t N : {16, 32, 64}) {
+    RoutineResult RR = analyzed(shallowWorkload().Source, Strategy::Global,
+                                N);
+    ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+    SimResult S = simulate(*RR.Ctx, RR.Plan, Prog, M, 25);
+    EXPECT_GT(S.TotalTime, Prev);
+    EXPECT_GT(S.CommTime, 0);
+    EXPECT_GT(S.ComputeTime, 0);
+    EXPECT_NEAR(S.TotalTime, S.CommTime + S.ComputeTime, 1e-12);
+    Prev = S.TotalTime;
+  }
+}
+
+TEST(Simulate, CommOpsMatchStaticCountsTimesTrips) {
+  // trimesh main: 4 combined exchanges per timestep under comb.
+  RoutineResult RR = analyzed(trimeshWorkload().Source, Strategy::Global, 12);
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  SimResult S = simulate(*RR.Ctx, RR.Plan, Prog, MachineProfile::sp2(), 25);
+  EXPECT_EQ(S.CommOps, 4.0 * 2 /* nsteps */);
+}
+
+TEST(Simulate, NowSlowerThanSp2OnComm) {
+  RoutineResult RR = analyzed(shallowWorkload().Source, Strategy::Global, 48);
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  SimResult S = simulate(*RR.Ctx, RR.Plan, Prog, MachineProfile::sp2(), 25);
+  SimResult N = simulate(*RR.Ctx, RR.Plan, Prog, MachineProfile::now(), 25);
+  EXPECT_GT(N.CommTime, S.CommTime);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier: it must actually catch broken schedules.
+//===----------------------------------------------------------------------===//
+
+TEST(Verify, DetectsMissingCommunication) {
+  RoutineResult RR = analyzed(figure4Workload().Source, Strategy::Global, 16);
+  CommPlan Broken = RR.Plan;
+  Broken.Groups.clear(); // Drop every communication.
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, Broken);
+  VerifyResult V = verifySchedule(*RR.Ctx, Broken, Prog, 4);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_FALSE(V.Violations.empty());
+}
+
+TEST(Verify, DetectsStaleCommunication) {
+  // Move the (correctly placed) exchange of figure4 to the routine entry:
+  // it would then deliver data from before the definitions of a and b.
+  RoutineResult RR = analyzed(figure4Workload().Source, Strategy::Global, 16);
+  CommPlan Broken = RR.Plan;
+  ASSERT_EQ(Broken.Groups.size(), 1u);
+  Broken.Groups[0].Placement = Slot{RR.Ctx->G.entry(), 0};
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, Broken);
+  VerifyResult V = verifySchedule(*RR.Ctx, Broken, Prog, 4);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST(Verify, CleanScheduleHasRemoteTraffic) {
+  RoutineResult RR = analyzed(figure4Workload().Source, Strategy::Global, 16);
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
+  EXPECT_TRUE(V.Ok) << V.str();
+  EXPECT_GT(V.RemoteReads, 0); // The test would be vacuous otherwise.
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule lowering.
+//===----------------------------------------------------------------------===//
+
+TEST(Schedule, ListingShowsCommBetweenStatements) {
+  RoutineResult RR = analyzed(figure4Workload().Source, Strategy::Global, 16);
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  std::string L = Prog.listing(*RR.Ctx, RR.Plan);
+  EXPECT_NE(L.find("COMM NNC"), std::string::npos);
+  // The combined exchange carries both arrays.
+  size_t Pos = L.find("COMM NNC");
+  std::string Line = L.substr(Pos, L.find('\n', Pos) - Pos);
+  EXPECT_NE(Line.find("a("), std::string::npos);
+  EXPECT_NE(Line.find("b("), std::string::npos);
+}
+
+TEST(Schedule, EveryGroupFiresExactlyOnceInActions) {
+  RoutineResult RR = analyzed(shallowWorkload().Source, Strategy::Global, 12);
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  std::vector<int> Seen(RR.Plan.Groups.size(), 0);
+  std::function<void(const std::vector<ExecAction> &)> Walk =
+      [&](const std::vector<ExecAction> &Actions) {
+        for (const ExecAction &A : Actions) {
+          if (A.K == ExecAction::Kind::Comm)
+            ++Seen[A.GroupId];
+          Walk(A.Body);
+          Walk(A.Else);
+        }
+      };
+  Walk(Prog.actions());
+  for (size_t I = 0; I != Seen.size(); ++I)
+    EXPECT_EQ(Seen[I], 1) << "group " << I;
+}
+
+TEST(Schedule, ListingKeepsLoopSteps) {
+  RoutineResult RR = analyzed(figure4Workload().Source, Strategy::Global, 16);
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  std::string L = Prog.listing(*RR.Ctx, RR.Plan);
+  // The first j loop of Figure 4 is strided (1:n:2).
+  EXPECT_NE(L.find("do j = 1, 16, 2"), std::string::npos) << L;
+}
+
+TEST(CostModel, BcastAndGeneralScale) {
+  // A constant-position read becomes a broadcast; a transpose becomes a
+  // general pattern. Both must cost more on more processors (more stages /
+  // more partners).
+  const char *Src = R"(
+program p
+param n = 32
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+real s
+begin
+  a = 1
+  s = a(3,4)
+  do i = 1, n
+    do j = 1, n
+      b(i,j) = a(j,i)
+    end do
+  end do
+end
+)";
+  RoutineResult RR = analyzed(Src, Strategy::Global, 32);
+  bool SawBcast = false, SawGeneral = false;
+  MachineProfile M = MachineProfile::sp2();
+  std::vector<int64_t> Env(64, 1);
+  for (const CommGroup &G : RR.Plan.Groups) {
+    CommCost C4 = groupCost(*RR.Ctx, G, M, 4, Env);
+    CommCost C25 = groupCost(*RR.Ctx, G, M, 25, Env);
+    if (G.Kind == CommKind::Bcast) {
+      SawBcast = true;
+      EXPECT_GT(C25.Time, C4.Time);
+    }
+    if (G.Kind == CommKind::General) {
+      SawGeneral = true;
+      EXPECT_GT(C25.Messages, C4.Messages);
+    }
+  }
+  EXPECT_TRUE(SawBcast);
+  EXPECT_TRUE(SawGeneral);
+}
+
+TEST(Simulate, ZeroTripLoopCostsNothing) {
+  const char *Src = R"(
+program p
+param n = 8
+real a(n) distribute (block)
+real b(n) distribute (block)
+begin
+  a = 1
+  do t = 5, 4
+    b(2:n) = a(1:n-1)
+  end do
+end
+)";
+  RoutineResult RR = analyzed(Src, Strategy::Global, 8);
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  SimResult S = simulate(*RR.Ctx, RR.Plan, Prog, MachineProfile::sp2(), 4);
+  // Only the initialization compute remains; no communication fires inside
+  // the zero-trip loop (its placement is within the loop).
+  EXPECT_GT(S.ComputeTime, 0);
+}
+
+TEST(Verify, HandlesTriangularLoops) {
+  // Non-rectangular iteration spaces exercise the env-dependent paths of
+  // both the simulator and verifier.
+  const char *Src = R"(
+program p
+param n = 10
+real a(n,n) distribute (block,block)
+real b(n,n) distribute (block,block)
+begin
+  a = 1
+  do i = 2, n
+    do j = 2, i
+      b(i,j) = a(i-1,j)
+    end do
+  end do
+end
+)";
+  RoutineResult RR = analyzed(Src, Strategy::Global, 10);
+  ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+  VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
+  EXPECT_TRUE(V.Ok) << V.str();
+  SimResult S = simulate(*RR.Ctx, RR.Plan, Prog, MachineProfile::sp2(), 4);
+  EXPECT_GT(S.TotalTime, 0);
+}

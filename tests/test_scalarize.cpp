@@ -1,0 +1,165 @@
+//===- tests/test_scalarize.cpp - scalarizer tests ------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "ir/Printer.h"
+#include "xform/Scalarize.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+static std::unique_ptr<Program> parseAndScalarize(const std::string &Src) {
+  DiagEngine D;
+  auto P = parseProgram(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  scalarizeProgram(*P, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return P;
+}
+
+TEST(Scalarize, WholeArrayBecomesLoopNest) {
+  auto P = parseAndScalarize(R"(
+program s
+param n = 6
+real a(n,n) distribute (block,block)
+begin
+  a = 3
+end
+)");
+  const Routine &R = *P->Routines[0];
+  ASSERT_EQ(R.body().size(), 1u);
+  const auto *L0 = dyn_cast<LoopStmt>(R.body()[0]);
+  ASSERT_NE(L0, nullptr);
+  const auto *L1 = dyn_cast<LoopStmt>(L0->body()[0]);
+  ASSERT_NE(L1, nullptr);
+  const auto *S = dyn_cast<AssignStmt>(L1->body()[0]);
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->lhs().Subs[0].isElem());
+  EXPECT_TRUE(S->lhs().Subs[1].isElem());
+  EXPECT_EQ(L0->constTripCount(), 6);
+}
+
+TEST(Scalarize, ShiftOffsetsPreserved) {
+  auto P = parseAndScalarize(R"(
+program s
+param n = 8
+real a(n) distribute (block)
+real c(n) distribute (block)
+begin
+  c(2:n) = a(1:n-1)
+end
+)");
+  const Routine &R = *P->Routines[0];
+  const auto *L = cast<LoopStmt>(R.body()[0]);
+  EXPECT_EQ(L->lo().constValue(), 2);
+  EXPECT_EQ(L->hi().constValue(), 8);
+  const auto *S = cast<AssignStmt>(L->body()[0]);
+  // c(i) = a(i-1): constant offset -1 between the RHS and LHS subscripts.
+  int64_t Delta;
+  ASSERT_TRUE(
+      S->rhs()[0].Ref.Subs[0].Lo.constDifference(S->lhs().Subs[0].Lo, Delta));
+  EXPECT_EQ(Delta, -1);
+}
+
+TEST(Scalarize, StridedSectionNormalized) {
+  auto P = parseAndScalarize(R"(
+program s
+param n = 16
+real b(n,n) distribute (block,*)
+begin
+  b(:,1:n:2) = 1
+end
+)");
+  const Routine &R = *P->Routines[0];
+  const auto *L0 = cast<LoopStmt>(R.body()[0]);
+  const auto *L1 = cast<LoopStmt>(L0->body()[0]);
+  // Dim 1 is direct (step 1); dim 2 is normalized 0..7 with subscript
+  // 2*t + 1.
+  EXPECT_EQ(L0->constTripCount(), 16);
+  EXPECT_EQ(L1->lo().constValue(), 0);
+  EXPECT_EQ(L1->constTripCount(), 8);
+  const auto *S = cast<AssignStmt>(L1->body()[0]);
+  EXPECT_EQ(S->lhs().Subs[1].Lo.coeff(L1->var()), 2);
+  EXPECT_EQ(S->lhs().Subs[1].Lo.constPart(), 1);
+}
+
+TEST(Scalarize, ScalarAndReductionLeftIntact) {
+  auto P = parseAndScalarize(R"(
+program s
+param n = 8
+real g(n,n) distribute (block,block)
+real s
+begin
+  s = sum(g(1,1:n))
+end
+)");
+  const Routine &R = *P->Routines[0];
+  ASSERT_EQ(R.body().size(), 1u);
+  const auto *S = dyn_cast<AssignStmt>(R.body()[0]);
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->lhsIsScalar());
+  EXPECT_TRUE(S->rhs()[0].Ref.Subs[1].isRange());
+}
+
+TEST(Scalarize, InsideLoopsAndBranches) {
+  auto P = parseAndScalarize(R"(
+program s
+param n = 8
+real a(n) distribute (block)
+begin
+  do t = 1, 3
+    if (c) then
+      a(1:n) = 2
+    end if
+  end do
+end
+)");
+  const Routine &R = *P->Routines[0];
+  const auto *T = cast<LoopStmt>(R.body()[0]);
+  const auto *I = cast<IfStmt>(T->body()[0]);
+  EXPECT_EQ(I->thenBody()[0]->kind(), StmtKind::Loop);
+}
+
+TEST(Scalarize, NonconformingDiagnosed) {
+  DiagEngine D;
+  auto P = parseProgram(R"(
+program s
+param n = 8
+real a(n,n) distribute (block,block)
+real c(n) distribute (block)
+begin
+  c(1:n) = a(1:n,1:n)
+end
+)",
+                        D);
+  ASSERT_FALSE(D.hasErrors());
+  scalarizeProgram(*P, D);
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_NE(D.str().find("nonconforming"), std::string::npos);
+}
+
+TEST(Scalarize, Figure3ColumnsDiffer) {
+  // The paper's Figure 3: the F90 source scalarizes into the *separate*
+  // loops of column 2 — it is not fused into column 3's form.
+  auto P = parseAndScalarize(R"(
+program f3
+param n = 8
+real a(n) distribute (block)
+real b(n) distribute (block)
+real c(n) distribute (block)
+begin
+  a = 3
+  b = 4
+  c(2:n) = a(1:n-1) + b(1:n-1)
+end
+)");
+  const Routine &R = *P->Routines[0];
+  ASSERT_EQ(R.body().size(), 3u); // Three separate loop nests.
+  for (const Stmt *S : R.body())
+    EXPECT_EQ(S->kind(), StmtKind::Loop);
+}

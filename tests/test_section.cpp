@@ -1,0 +1,196 @@
+//===- tests/test_section.cpp - section / mapping / ASD tests -------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "section/Asd.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+namespace {
+
+SecDim dim(int64_t Lo, int64_t Hi, int64_t Step = 1) {
+  return SecDim::triplet(AffineExpr::constant(Lo), AffineExpr::constant(Hi),
+                         Step);
+}
+
+RegSection sec2(int64_t L0, int64_t H0, int64_t L1, int64_t H1) {
+  return RegSection({dim(L0, H0), dim(L1, H1)});
+}
+
+TemplateSig sig2(int64_t N = 16) {
+  TemplateSig S;
+  S.Dims = {{N, DistKind::Block}, {N, DistKind::Block}};
+  return S;
+}
+
+} // namespace
+
+TEST(Section, Counting) {
+  EXPECT_EQ(dim(1, 10).count(), 10);
+  EXPECT_EQ(dim(1, 10, 2).count(), 5);
+  EXPECT_EQ(dim(5, 4).count(), 0);
+  EXPECT_EQ(sec2(1, 4, 1, 3).numElems(), 12);
+}
+
+TEST(Section, SymbolicCount) {
+  // i : i is one element per enclosing iteration; i : i+3 is four.
+  SecDim Sym = SecDim::triplet(AffineExpr::var(0), AffineExpr::var(0) + 3);
+  EXPECT_EQ(Sym.count(), 4);
+  SecDim Unknown = SecDim::triplet(AffineExpr::var(0), AffineExpr::var(1));
+  EXPECT_EQ(Unknown.count(), -1);
+}
+
+TEST(Section, Containment) {
+  EXPECT_TRUE(sec2(2, 8, 2, 8).containedIn(sec2(1, 9, 1, 9)));
+  EXPECT_FALSE(sec2(0, 8, 2, 8).containedIn(sec2(1, 9, 1, 9)));
+  EXPECT_TRUE(sec2(1, 9, 1, 9).containedIn(sec2(1, 9, 1, 9)));
+}
+
+TEST(Section, StrideContainment) {
+  // Odd elements 1:9:2 are inside 1:9:1 but 1:9:1 is not inside 1:9:2,
+  // and even elements are not inside odd.
+  RegSection Odd({dim(1, 9, 2)});
+  RegSection Even({dim(2, 8, 2)});
+  RegSection Full({dim(1, 9, 1)});
+  EXPECT_TRUE(Odd.containedIn(Full));
+  EXPECT_FALSE(Full.containedIn(Odd));
+  EXPECT_FALSE(Even.containedIn(Odd));
+  EXPECT_FALSE(Odd.containedIn(Even));
+}
+
+TEST(Section, SymbolicContainment) {
+  // Plane (i, 1:8) is inside plane (i, 0:9), but not inside (i-1, 0:9).
+  AffineExpr I = AffineExpr::var(0);
+  RegSection A({SecDim::single(I), dim(1, 8)});
+  RegSection B({SecDim::single(I), dim(0, 9)});
+  RegSection C({SecDim::single(I - 1), dim(0, 9)});
+  EXPECT_TRUE(A.containedIn(B));
+  EXPECT_FALSE(A.containedIn(C));
+}
+
+TEST(Section, UnionApprox) {
+  RegSection U;
+  int64_t UE, SE;
+  ASSERT_TRUE(sec2(1, 4, 1, 8).unionApprox(sec2(5, 8, 1, 8), U, UE, SE));
+  EXPECT_EQ(UE, 64);
+  EXPECT_EQ(SE, 64);
+  EXPECT_EQ(U.dim(0).Lo.constValue(), 1);
+  EXPECT_EQ(U.dim(0).Hi.constValue(), 8);
+}
+
+TEST(Section, UnionOfStridedPhases) {
+  // Odd union even covers everything at step 1 (gcd with lo offset).
+  RegSection Odd({dim(1, 15, 2)});
+  RegSection Even({dim(2, 16, 2)});
+  RegSection U;
+  int64_t UE, SE;
+  ASSERT_TRUE(Odd.unionApprox(Even, U, UE, SE));
+  EXPECT_EQ(U.dim(0).Step, 1);
+  EXPECT_EQ(UE, 16);
+}
+
+TEST(Section, UnionFailsAcrossStructures) {
+  RegSection A({SecDim::single(AffineExpr::var(0))});
+  RegSection B({SecDim::single(AffineExpr::var(1))});
+  RegSection U;
+  int64_t UE, SE;
+  EXPECT_FALSE(A.unionApprox(B, U, UE, SE));
+}
+
+TEST(Section, Concretize) {
+  AffineExpr I = AffineExpr::var(0);
+  RegSection S({SecDim::single(I - 1), dim(1, 8, 2)});
+  std::vector<DimRange> R = S.concretize({5});
+  EXPECT_EQ(R[0].Lo, 4);
+  EXPECT_EQ(R[0].Hi, 4);
+  EXPECT_EQ(R[1].count(), 4);
+}
+
+TEST(Mapping, EqualityAndKinds) {
+  Mapping S1 = Mapping::shift(sig2(), {1, 0});
+  Mapping S2 = Mapping::shift(sig2(), {1, 0});
+  Mapping S3 = Mapping::shift(sig2(), {0, 1});
+  EXPECT_TRUE(S1 == S2);
+  EXPECT_FALSE(S1 == S3);
+  EXPECT_FALSE(Mapping::local() == S1);
+}
+
+TEST(Mapping, ShiftSubsumption) {
+  // Same direction, wider reach subsumes narrower; opposite directions and
+  // different axes never do.
+  Mapping Near = Mapping::shift(sig2(), {-1, 0});
+  Mapping Far = Mapping::shift(sig2(), {-2, 0});
+  Mapping Up = Mapping::shift(sig2(), {1, 0});
+  EXPECT_TRUE(Near.subsumedBy(Far));
+  EXPECT_FALSE(Far.subsumedBy(Near));
+  EXPECT_FALSE(Near.subsumedBy(Up));
+  EXPECT_TRUE(Near.subsumedBy(Near));
+}
+
+TEST(Mapping, CompatibilityIgnoresMagnitude) {
+  Mapping Near = Mapping::shift(sig2(), {-1, 0});
+  Mapping Far = Mapping::shift(sig2(), {-2, 0});
+  Mapping Diag = Mapping::shift(sig2(), {-1, 1});
+  EXPECT_TRUE(Near.compatibleWith(Far));
+  EXPECT_FALSE(Near.compatibleWith(Diag));
+}
+
+TEST(Mapping, SigMismatchBlocksEverything) {
+  TemplateSig Other;
+  Other.Dims = {{32, DistKind::Block}, {16, DistKind::Block}};
+  Mapping A = Mapping::shift(sig2(), {1, 0});
+  Mapping B = Mapping::shift(Other, {1, 0});
+  EXPECT_FALSE(A.compatibleWith(B));
+  EXPECT_FALSE(A.subsumedBy(B));
+}
+
+TEST(Mapping, ReduceAndBcast) {
+  Mapping R1 = Mapping::reduce(sig2(), {1, 1});
+  Mapping R2 = Mapping::reduce(sig2(), {1, 1});
+  Mapping R3 = Mapping::reduce(sig2(), {0, 1});
+  EXPECT_TRUE(R1.compatibleWith(R2));
+  EXPECT_FALSE(R1.compatibleWith(R3));
+  Mapping B1 = Mapping::bcast(sig2(), 0, 5);
+  Mapping B2 = Mapping::bcast(sig2(), 0, 6);
+  EXPECT_FALSE(B1.compatibleWith(B2));
+  EXPECT_TRUE(B1.subsumedBy(B1));
+}
+
+TEST(Asd, SubsumptionNeedsAllThree) {
+  Asd Small{0, sec2(2, 8, 2, 8), Mapping::shift(sig2(), {-1, 0})};
+  Asd Big{0, sec2(1, 9, 1, 9), Mapping::shift(sig2(), {-1, 0})};
+  Asd OtherArray{1, sec2(1, 9, 1, 9), Mapping::shift(sig2(), {-1, 0})};
+  Asd OtherDir{0, sec2(1, 9, 1, 9), Mapping::shift(sig2(), {0, -1})};
+  EXPECT_TRUE(Small.subsumedBy(Big));
+  EXPECT_FALSE(Big.subsumedBy(Small));
+  EXPECT_FALSE(Small.subsumedBy(OtherArray));
+  EXPECT_FALSE(Small.subsumedBy(OtherDir));
+}
+
+/// Property sweep: containment implies union == container (elementwise).
+class SectionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SectionProperty, ContainUnionConsistency) {
+  auto [Lo, Len, Step] = GetParam();
+  RegSection Inner({dim(Lo, Lo + Len * Step, Step)});
+  RegSection Outer({dim(Lo - Step, Lo + (Len + 2) * Step, Step)});
+  EXPECT_TRUE(Inner.containedIn(Outer));
+  RegSection U;
+  int64_t UE, SE;
+  ASSERT_TRUE(Inner.unionApprox(Outer, U, UE, SE));
+  EXPECT_EQ(UE, Outer.numElems());
+  EXPECT_TRUE(Outer.containedIn(U));
+  EXPECT_TRUE(U.containedIn(Outer));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SectionProperty,
+    ::testing::Combine(::testing::Values(1, 3, 10),
+                       ::testing::Values(0, 1, 5),
+                       ::testing::Values(1, 2, 3)));

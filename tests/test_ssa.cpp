@@ -1,0 +1,256 @@
+//===- tests/test_ssa.cpp - array SSA tests -------------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "ssa/Ssa.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<Cfg> G;
+  std::unique_ptr<Ssa> S;
+  const Routine *R;
+};
+
+Built build(const std::string &Src) {
+  DiagEngine D;
+  Built B;
+  B.P = parseProgram(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  B.R = B.P->Routines[0].get();
+  B.G = std::make_unique<Cfg>(Cfg::build(*B.R));
+  B.S = std::make_unique<Ssa>(Ssa::build(*B.G));
+  return B;
+}
+
+int countDefs(const Ssa &S, DefKind K) {
+  int N = 0;
+  for (unsigned I = 0; I != S.numDefs(); ++I)
+    N += S.def(static_cast<int>(I)).Kind == K;
+  return N;
+}
+
+} // namespace
+
+TEST(Ssa, EntryDefsForEveryVariable) {
+  Built B = build(R"(
+program s
+param n = 4
+real a(n) distribute (block)
+real b(n) distribute (block)
+real x
+begin
+  a(1) = 1
+end
+)");
+  EXPECT_EQ(B.S->numVars(), 3u);
+  EXPECT_EQ(countDefs(*B.S, DefKind::Entry), 3);
+  for (unsigned V = 0; V != 3; ++V)
+    EXPECT_EQ(B.S->def(B.S->entryDef(static_cast<int>(V))).Kind,
+              DefKind::Entry);
+}
+
+TEST(Ssa, StraightLinePrevChain) {
+  Built B = build(R"(
+program s
+param n = 4
+real a(n) distribute (block)
+begin
+  a(1) = 1
+  a(2) = a(1)
+end
+)");
+  const Routine &R = *B.R;
+  const auto *S1 = cast<AssignStmt>(R.body()[0]);
+  const auto *S2 = cast<AssignStmt>(R.body()[1]);
+  int Var = B.S->varOfArray(0);
+  int D1 = B.S->defOfStmt(S1);
+  int D2 = B.S->defOfStmt(S2);
+  EXPECT_EQ(B.S->def(D1).Prev, B.S->entryDef(Var));
+  EXPECT_EQ(B.S->def(D2).Prev, D1);
+  // S2's RHS sees S1's def (not its own).
+  EXPECT_EQ(B.S->reachingBefore(S2, Var), D1);
+}
+
+TEST(Ssa, LoopPhiEntryAndExit) {
+  Built B = build(R"(
+program s
+param n = 4
+real a(n) distribute (block)
+begin
+  do i = 1, n
+    a(i) = a(i)
+  end do
+  a(1) = a(1)
+end
+)");
+  const Routine &R = *B.R;
+  EXPECT_EQ(countDefs(*B.S, DefKind::PhiEntry), 1);
+  EXPECT_EQ(countDefs(*B.S, DefKind::PhiExit), 1);
+
+  const auto *L = cast<LoopStmt>(R.body()[0]);
+  const auto *Body = cast<AssignStmt>(L->body()[0]);
+  const auto *After = cast<AssignStmt>(R.body()[1]);
+  int Var = B.S->varOfArray(0);
+
+  // The body's use sees the phiEntry; its params are [entry, body def].
+  int Phi = B.S->reachingBefore(Body, Var);
+  EXPECT_EQ(B.S->def(Phi).Kind, DefKind::PhiEntry);
+  ASSERT_EQ(B.S->def(Phi).Params.size(), 2u);
+  EXPECT_EQ(B.S->def(Phi).Params[0], B.S->entryDef(Var));
+  EXPECT_EQ(B.S->def(Phi).Params[1], B.S->defOfStmt(Body));
+
+  // After the loop, the phiExit merges [phiEntry, zero-trip pre-value].
+  int Exit = B.S->reachingBefore(After, Var);
+  EXPECT_EQ(B.S->def(Exit).Kind, DefKind::PhiExit);
+  EXPECT_EQ(B.S->def(Exit).Params[0], Phi);
+  EXPECT_EQ(B.S->def(Exit).Params[1], B.S->entryDef(Var));
+}
+
+TEST(Ssa, IfMergePhi) {
+  Built B = build(R"(
+program s
+param n = 4
+real a(n) distribute (block)
+real b(n) distribute (block)
+begin
+  if (cond) then
+    a(1) = 1
+  else
+    a(2) = 2
+  end if
+  b(1) = a(1)
+end
+)");
+  const Routine &R = *B.R;
+  EXPECT_EQ(countDefs(*B.S, DefKind::PhiMerge), 1);
+  const auto *Use = cast<AssignStmt>(R.body()[1]);
+  int Var = B.S->varOfArray(R.findArray("a"));
+  int Phi = B.S->reachingBefore(Use, Var);
+  EXPECT_EQ(B.S->def(Phi).Kind, DefKind::PhiMerge);
+  // Variables assigned identically on both paths need no phi: b has none.
+  for (unsigned I = 0; I != B.S->numDefs(); ++I) {
+    const SsaDef &D = B.S->def(static_cast<int>(I));
+    if (D.Kind == DefKind::PhiMerge) {
+      EXPECT_EQ(B.S->varName(D.Var), "a");
+    }
+  }
+}
+
+TEST(Ssa, NoPhiForUntouchedVars) {
+  Built B = build(R"(
+program s
+param n = 4
+real a(n) distribute (block)
+real b(n) distribute (block)
+begin
+  do i = 1, n
+    a(i) = b(i)
+  end do
+end
+)");
+  // b is only read: no phis for it.
+  for (unsigned I = 0; I != B.S->numDefs(); ++I) {
+    const SsaDef &D = B.S->def(static_cast<int>(I));
+    if (D.Kind != DefKind::Entry) {
+      EXPECT_EQ(B.S->varName(D.Var), "a");
+    }
+  }
+}
+
+TEST(Ssa, CollectReachingRegularDefs) {
+  Built B = build(R"(
+program s
+param n = 4
+real a(n) distribute (block)
+real b(n) distribute (block)
+begin
+  a(1) = 1
+  if (cond) then
+    a(2) = 2
+  end if
+  do i = 1, n
+    a(i) = 3
+  end do
+  b(1) = a(1)
+end
+)");
+  const Routine &R = *B.R;
+  const auto *Use = cast<AssignStmt>(R.body().back());
+  int Var = B.S->varOfArray(R.findArray("a"));
+  std::vector<int> Defs;
+  bool FromEntry = false;
+  B.S->collectReachingRegularDefs(B.S->reachingBefore(Use, Var), Defs,
+                                  FromEntry);
+  // All three regular defs of a reach the use (arrays preserve), and so
+  // does the ENTRY pseudo-def.
+  EXPECT_EQ(Defs.size(), 3u);
+  EXPECT_TRUE(FromEntry);
+}
+
+TEST(Ssa, CommonNestingLevel) {
+  Built B = build(R"(
+program s
+param n = 4
+real a(n,n) distribute (block,block)
+begin
+  do i = 1, n
+    do j = 1, n
+      a(i,j) = a(i,j)
+    end do
+    a(i,1) = 0
+  end do
+end
+)");
+  const Routine &R = *B.R;
+  const auto *Li = cast<LoopStmt>(R.body()[0]);
+  const auto *Lj = cast<LoopStmt>(Li->body()[0]);
+  const auto *Inner = cast<AssignStmt>(Lj->body()[0]);
+  const auto *Outer = cast<AssignStmt>(Li->body()[1]);
+  int Var = B.S->varOfArray(0);
+  int InnerDef = B.S->defOfStmt(Inner);
+  int OuterDef = B.S->defOfStmt(Outer);
+  const std::vector<int> &InnerNest = B.G->loopNestOf(Inner);
+  EXPECT_EQ(B.S->commonNestingLevel(InnerDef, InnerNest), 2);
+  EXPECT_EQ(B.S->commonNestingLevel(OuterDef, InnerNest), 1);
+  EXPECT_EQ(B.S->commonNestingLevel(B.S->entryDef(Var), InnerNest), 0);
+}
+
+TEST(Ssa, AfterSlotPlacement) {
+  Built B = build(R"(
+program s
+param n = 4
+real a(n) distribute (block)
+begin
+  a(1) = 1
+  do i = 1, n
+    a(i) = 2
+  end do
+end
+)");
+  const Routine &R = *B.R;
+  const auto *S1 = cast<AssignStmt>(R.body()[0]);
+  int D1 = B.S->defOfStmt(S1);
+  // "Communication placed at d means immediately after d."
+  EXPECT_EQ(B.S->def(D1).AfterSlot, B.G->slotAfter(S1));
+  // phiEntry sits at the header top, phiExit at the postexit top.
+  const CfgLoop &L = B.G->loop(0);
+  for (unsigned I = 0; I != B.S->numDefs(); ++I) {
+    const SsaDef &D = B.S->def(static_cast<int>(I));
+    if (D.Kind == DefKind::PhiEntry) {
+      EXPECT_EQ(D.AfterSlot, (Slot{L.Header, 0}));
+    }
+    if (D.Kind == DefKind::PhiExit) {
+      EXPECT_EQ(D.AfterSlot, (Slot{L.Postexit, 0}));
+    }
+  }
+}

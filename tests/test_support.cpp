@@ -1,0 +1,82 @@
+//===- tests/test_support.cpp - support library tests ---------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+#include "support/StrUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+TEST(StrUtil, FormatBasics) {
+  EXPECT_EQ(strFormat("x=%d", 42), "x=42");
+  EXPECT_EQ(strFormat("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(strFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StrUtil, FormatLongString) {
+  std::string Long(1000, 'x');
+  EXPECT_EQ(strFormat("%s", Long.c_str()).size(), 1000u);
+}
+
+TEST(StrUtil, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrUtil, FormatBytes) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(20 * 1024), "20.0 KB");
+  EXPECT_EQ(formatBytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+TEST(StrUtil, FormatSeconds) {
+  EXPECT_EQ(formatSeconds(42e-6), "42.0 us");
+  EXPECT_EQ(formatSeconds(12.3e-3), "12.30 ms");
+  EXPECT_EQ(formatSeconds(2.5), "2.500 s");
+}
+
+TEST(Diag, ErrorAccumulation) {
+  DiagEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(3, 7), "bad token '%s'", "x");
+  D.warning(SourceLoc(4, 1), "suspicious");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diags().size(), 2u);
+  EXPECT_NE(D.str().find("error: 3:7: bad token 'x'"), std::string::npos);
+  EXPECT_NE(D.str().find("warning: 4:1: suspicious"), std::string::npos);
+}
+
+TEST(Diag, Clear) {
+  DiagEngine D;
+  D.error(SourceLoc(), "boom");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diags().empty());
+}
+
+TEST(Diag, InvalidLocOmitted) {
+  DiagEngine D;
+  D.error(SourceLoc(), "no location");
+  EXPECT_EQ(D.diags()[0].str(), "error: no location");
+}
+
+TEST(SourceLoc, Str) {
+  EXPECT_EQ(SourceLoc().str(), "<unknown>");
+  EXPECT_EQ(SourceLoc(12, 3).str(), "12:3");
+  EXPECT_TRUE(SourceLoc(1, 1).isValid());
+  EXPECT_FALSE(SourceLoc().isValid());
+}

@@ -1,0 +1,189 @@
+//===- tests/test_workloads.cpp - evaluation workload tests ---------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end checks of the evaluation programs: the static message counts
+/// of the paper's Figure 10 table, monotonicity of the strategies, and the
+/// data-provenance verification of every generated schedule (Claim 4.7).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compile.h"
+#include "lower/Schedule.h"
+#include "runtime/Simulate.h"
+#include "runtime/Verify.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace gca;
+
+namespace {
+
+CompileResult compile(const Workload &W, Strategy S, int64_t N = 12,
+                      int64_t Steps = 2) {
+  CompileOptions Opts;
+  Opts.Placement.Strat = S;
+  Opts.Params["n"] = N;
+  Opts.Params["nsteps"] = Steps;
+  CompileResult R = compileSource(W.Source, Opts);
+  EXPECT_TRUE(R.Ok) << R.Errors;
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The Figure 10 static-count table, row by row.
+//===----------------------------------------------------------------------===//
+
+class Figure10Table : public ::testing::TestWithParam<int> {};
+
+TEST_P(Figure10Table, CountsMatchPaper) {
+  const Workload *W = evaluationWorkloads()[GetParam()];
+  CompileResult Orig = compile(*W, Strategy::Orig);
+  CompileResult Nored = compile(*W, Strategy::Earliest);
+  CompileResult Comb = compile(*W, Strategy::Global);
+  for (const ExpectedCounts &E : W->Expected) {
+    CommKind K = E.Kind == "SUM" ? CommKind::Reduce : CommKind::Shift;
+    ASSERT_NE(Orig.find(E.Routine), nullptr) << E.Routine;
+    EXPECT_EQ(Orig.find(E.Routine)->Plan.Stats.groups(K), E.Orig)
+        << W->Name << "/" << E.Routine << " orig " << E.Kind;
+    EXPECT_EQ(Nored.find(E.Routine)->Plan.Stats.groups(K), E.Nored)
+        << W->Name << "/" << E.Routine << " nored " << E.Kind;
+    EXPECT_EQ(Comb.find(E.Routine)->Plan.Stats.groups(K), E.Comb)
+        << W->Name << "/" << E.Routine << " comb " << E.Kind;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, Figure10Table, ::testing::Range(0, 4));
+
+//===----------------------------------------------------------------------===//
+// Safety: every schedule delivers every remote element after its last write.
+//===----------------------------------------------------------------------===//
+
+class ScheduleSafety
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ScheduleSafety, ProvenanceVerifies) {
+  auto [WIdx, SIdx, P] = GetParam();
+  const Workload *W = allWorkloads()[WIdx];
+  Strategy S = static_cast<Strategy>(SIdx);
+  CompileResult R = compile(*W, S);
+  for (const RoutineResult &RR : R.Routines) {
+    ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+    VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, P);
+    EXPECT_TRUE(V.Ok) << W->Name << "/" << RR.R->name() << " ["
+                      << strategyName(S) << ", P=" << P << "]\n"
+                      << V.str();
+    EXPECT_GT(V.ChecksPerformed, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScheduleSafety,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 3),
+                       ::testing::Values(2, 4, 6)));
+
+//===----------------------------------------------------------------------===//
+// Strategy monotonicity: the paper's headline relations.
+//===----------------------------------------------------------------------===//
+
+class StrategyMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyMonotonic, CombNeverMoreSitesThanNored) {
+  const Workload *W = evaluationWorkloads()[GetParam()];
+  CompileResult Orig = compile(*W, Strategy::Orig);
+  CompileResult Nored = compile(*W, Strategy::Earliest);
+  CompileResult Comb = compile(*W, Strategy::Global);
+  for (size_t I = 0; I != Orig.Routines.size(); ++I) {
+    int O = Orig.Routines[I].Plan.Stats.totalGroups();
+    int N = Nored.Routines[I].Plan.Stats.totalGroups();
+    int C = Comb.Routines[I].Plan.Stats.totalGroups();
+    EXPECT_LE(N, O);
+    EXPECT_LE(C, N);
+  }
+}
+
+TEST_P(StrategyMonotonic, SimulatedCommTimeImproves) {
+  const Workload *W = evaluationWorkloads()[GetParam()];
+  MachineProfile M = MachineProfile::sp2();
+  double Times[3];
+  Strategy Strats[3] = {Strategy::Orig, Strategy::Earliest, Strategy::Global};
+  for (int S = 0; S != 3; ++S) {
+    CompileResult R = compile(*W, Strats[S], 24, 2);
+    double Comm = 0;
+    for (const RoutineResult &RR : R.Routines) {
+      ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
+      Comm += simulate(*RR.Ctx, RR.Plan, Prog, M, 25).CommTime;
+    }
+    Times[S] = Comm;
+  }
+  // Small slack: redundancy elimination may slightly enlarge one message
+  // while removing another.
+  EXPECT_LE(Times[1], Times[0] * 1.05);
+  EXPECT_LE(Times[2], Times[1] * 1.05);
+  EXPECT_LT(Times[2], Times[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, StrategyMonotonic,
+                         ::testing::Range(0, 4));
+
+//===----------------------------------------------------------------------===//
+// Problem-size robustness: counts are size-independent, as static counts
+// must be.
+//===----------------------------------------------------------------------===//
+
+class SizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SizeSweep, StaticCountsAreSizeIndependent) {
+  int64_t N = GetParam();
+  const Workload &W = shallowWorkload();
+  CompileResult R = compile(W, Strategy::Global, N);
+  EXPECT_EQ(R.Routines[0].Plan.Stats.groups(CommKind::Shift), 8) << N;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(8, 12, 16, 24, 48));
+
+//===----------------------------------------------------------------------===//
+// gravity specifics: the Figure 1 narrative.
+//===----------------------------------------------------------------------===//
+
+TEST(Gravity, CombinedGroupsPairArrays) {
+  CompileResult R = compile(gravityWorkload(), Strategy::Global);
+  const RoutineResult &RR = R.Routines[0];
+  // Each NNC group carries both g and glast ("the NNC for g and glast can
+  // be combined").
+  int Paired = 0;
+  for (const CommGroup &G : RR.Plan.Groups) {
+    if (G.Kind != CommKind::Shift)
+      continue;
+    EXPECT_EQ(G.Data.size(), 2u);
+    ++Paired;
+  }
+  EXPECT_EQ(Paired, 4);
+  // The two SUM groups each carry four reductions ("two parallel sets of
+  // four global sums").
+  int Sums = 0;
+  for (const CommGroup &G : RR.Plan.Groups) {
+    if (G.Kind != CommKind::Reduce)
+      continue;
+    EXPECT_EQ(G.Members.size() + G.Attached.size(), 4u);
+    ++Sums;
+  }
+  EXPECT_EQ(Sums, 2);
+}
+
+TEST(Hydflo, RedundancyFactor) {
+  // gauss is the paper's "factor of almost nine" row: 52 -> 6.
+  CompileResult Orig = compile(hydfloWorkload(), Strategy::Orig);
+  CompileResult Comb = compile(hydfloWorkload(), Strategy::Global);
+  int O = Orig.find("gauss")->Plan.Stats.groups(CommKind::Shift);
+  int C = Comb.find("gauss")->Plan.Stats.groups(CommKind::Shift);
+  EXPECT_GE(static_cast<double>(O) / C, 8.0);
+}
