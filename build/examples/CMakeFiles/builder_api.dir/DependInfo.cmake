@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/builder_api.cpp" "examples/CMakeFiles/builder_api.dir/builder_api.cpp.o" "gcc" "examples/CMakeFiles/builder_api.dir/builder_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/gca_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gca_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/gca_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gca_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/gca_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/gca_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/section/CMakeFiles/gca_section.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/gca_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/gca_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gca_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gca_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commexplorer.dir/commexplorer.cpp.o"
+  "CMakeFiles/commexplorer.dir/commexplorer.cpp.o.d"
+  "commexplorer"
+  "commexplorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commexplorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_whatif.dir/machine_whatif.cpp.o"
+  "CMakeFiles/machine_whatif.dir/machine_whatif.cpp.o.d"
+  "machine_whatif"
+  "machine_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("frontend")
+subdirs("xform")
+subdirs("cfg")
+subdirs("ssa")
+subdirs("dep")
+subdirs("section")
+subdirs("core")
+subdirs("lower")
+subdirs("runtime")
+subdirs("workloads")
+subdirs("driver")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/gca_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/gca_cfg.dir/DomTree.cpp.o"
+  "CMakeFiles/gca_cfg.dir/DomTree.cpp.o.d"
+  "libgca_cfg.a"
+  "libgca_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Context.cpp" "src/core/CMakeFiles/gca_core.dir/Context.cpp.o" "gcc" "src/core/CMakeFiles/gca_core.dir/Context.cpp.o.d"
+  "/root/repo/src/core/Detect.cpp" "src/core/CMakeFiles/gca_core.dir/Detect.cpp.o" "gcc" "src/core/CMakeFiles/gca_core.dir/Detect.cpp.o.d"
+  "/root/repo/src/core/EarliestLatest.cpp" "src/core/CMakeFiles/gca_core.dir/EarliestLatest.cpp.o" "gcc" "src/core/CMakeFiles/gca_core.dir/EarliestLatest.cpp.o.d"
+  "/root/repo/src/core/Placement.cpp" "src/core/CMakeFiles/gca_core.dir/Placement.cpp.o" "gcc" "src/core/CMakeFiles/gca_core.dir/Placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/section/CMakeFiles/gca_section.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/gca_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/gca_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gca_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gca_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

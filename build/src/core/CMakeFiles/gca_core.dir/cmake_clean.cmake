@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_core.dir/Context.cpp.o"
+  "CMakeFiles/gca_core.dir/Context.cpp.o.d"
+  "CMakeFiles/gca_core.dir/Detect.cpp.o"
+  "CMakeFiles/gca_core.dir/Detect.cpp.o.d"
+  "CMakeFiles/gca_core.dir/EarliestLatest.cpp.o"
+  "CMakeFiles/gca_core.dir/EarliestLatest.cpp.o.d"
+  "CMakeFiles/gca_core.dir/Placement.cpp.o"
+  "CMakeFiles/gca_core.dir/Placement.cpp.o.d"
+  "libgca_core.a"
+  "libgca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

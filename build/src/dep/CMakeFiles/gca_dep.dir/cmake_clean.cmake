@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_dep.dir/DepTest.cpp.o"
+  "CMakeFiles/gca_dep.dir/DepTest.cpp.o.d"
+  "libgca_dep.a"
+  "libgca_dep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_dep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

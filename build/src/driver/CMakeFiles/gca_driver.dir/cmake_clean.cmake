@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_driver.dir/Compile.cpp.o"
+  "CMakeFiles/gca_driver.dir/Compile.cpp.o.d"
+  "libgca_driver.a"
+  "libgca_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/gca_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gca_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/gca_frontend.dir/Parser.cpp.o.d"
+  "libgca_frontend.a"
+  "libgca_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_ir.dir/AffineExpr.cpp.o"
+  "CMakeFiles/gca_ir.dir/AffineExpr.cpp.o.d"
+  "CMakeFiles/gca_ir.dir/Ast.cpp.o"
+  "CMakeFiles/gca_ir.dir/Ast.cpp.o.d"
+  "CMakeFiles/gca_ir.dir/Builder.cpp.o"
+  "CMakeFiles/gca_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/gca_ir.dir/Printer.cpp.o"
+  "CMakeFiles/gca_ir.dir/Printer.cpp.o.d"
+  "libgca_ir.a"
+  "libgca_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_lower.dir/Schedule.cpp.o"
+  "CMakeFiles/gca_lower.dir/Schedule.cpp.o.d"
+  "libgca_lower.a"
+  "libgca_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/CostModel.cpp" "src/runtime/CMakeFiles/gca_runtime.dir/CostModel.cpp.o" "gcc" "src/runtime/CMakeFiles/gca_runtime.dir/CostModel.cpp.o.d"
+  "/root/repo/src/runtime/Grid.cpp" "src/runtime/CMakeFiles/gca_runtime.dir/Grid.cpp.o" "gcc" "src/runtime/CMakeFiles/gca_runtime.dir/Grid.cpp.o.d"
+  "/root/repo/src/runtime/Machine.cpp" "src/runtime/CMakeFiles/gca_runtime.dir/Machine.cpp.o" "gcc" "src/runtime/CMakeFiles/gca_runtime.dir/Machine.cpp.o.d"
+  "/root/repo/src/runtime/Simulate.cpp" "src/runtime/CMakeFiles/gca_runtime.dir/Simulate.cpp.o" "gcc" "src/runtime/CMakeFiles/gca_runtime.dir/Simulate.cpp.o.d"
+  "/root/repo/src/runtime/Verify.cpp" "src/runtime/CMakeFiles/gca_runtime.dir/Verify.cpp.o" "gcc" "src/runtime/CMakeFiles/gca_runtime.dir/Verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lower/CMakeFiles/gca_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gca_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gca_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/section/CMakeFiles/gca_section.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/gca_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/gca_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gca_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_runtime.dir/CostModel.cpp.o"
+  "CMakeFiles/gca_runtime.dir/CostModel.cpp.o.d"
+  "CMakeFiles/gca_runtime.dir/Grid.cpp.o"
+  "CMakeFiles/gca_runtime.dir/Grid.cpp.o.d"
+  "CMakeFiles/gca_runtime.dir/Machine.cpp.o"
+  "CMakeFiles/gca_runtime.dir/Machine.cpp.o.d"
+  "CMakeFiles/gca_runtime.dir/Simulate.cpp.o"
+  "CMakeFiles/gca_runtime.dir/Simulate.cpp.o.d"
+  "CMakeFiles/gca_runtime.dir/Verify.cpp.o"
+  "CMakeFiles/gca_runtime.dir/Verify.cpp.o.d"
+  "libgca_runtime.a"
+  "libgca_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_section.dir/Mapping.cpp.o"
+  "CMakeFiles/gca_section.dir/Mapping.cpp.o.d"
+  "CMakeFiles/gca_section.dir/Section.cpp.o"
+  "CMakeFiles/gca_section.dir/Section.cpp.o.d"
+  "libgca_section.a"
+  "libgca_section.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_section.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

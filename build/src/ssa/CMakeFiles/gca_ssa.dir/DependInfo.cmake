@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssa/Ssa.cpp" "src/ssa/CMakeFiles/gca_ssa.dir/Ssa.cpp.o" "gcc" "src/ssa/CMakeFiles/gca_ssa.dir/Ssa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/gca_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gca_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

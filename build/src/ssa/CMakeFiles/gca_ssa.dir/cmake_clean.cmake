@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_ssa.dir/Ssa.cpp.o"
+  "CMakeFiles/gca_ssa.dir/Ssa.cpp.o.d"
+  "libgca_ssa.a"
+  "libgca_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

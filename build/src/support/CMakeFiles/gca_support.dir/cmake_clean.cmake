@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_support.dir/Diag.cpp.o"
+  "CMakeFiles/gca_support.dir/Diag.cpp.o.d"
+  "CMakeFiles/gca_support.dir/SourceLoc.cpp.o"
+  "CMakeFiles/gca_support.dir/SourceLoc.cpp.o.d"
+  "CMakeFiles/gca_support.dir/StrUtil.cpp.o"
+  "CMakeFiles/gca_support.dir/StrUtil.cpp.o.d"
+  "libgca_support.a"
+  "libgca_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/gca_workloads.dir/Workloads.cpp.o.d"
+  "libgca_workloads.a"
+  "libgca_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

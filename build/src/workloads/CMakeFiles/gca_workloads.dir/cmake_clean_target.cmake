@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgca_workloads.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_xform.dir/Fuse.cpp.o"
+  "CMakeFiles/gca_xform.dir/Fuse.cpp.o.d"
+  "CMakeFiles/gca_xform.dir/Scalarize.cpp.o"
+  "CMakeFiles/gca_xform.dir/Scalarize.cpp.o.d"
+  "libgca_xform.a"
+  "libgca_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgca_xform.a"
+)

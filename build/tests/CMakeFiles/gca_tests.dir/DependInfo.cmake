@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_affine.cpp" "tests/CMakeFiles/gca_tests.dir/test_affine.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_affine.cpp.o.d"
+  "/root/repo/tests/test_cfg.cpp" "tests/CMakeFiles/gca_tests.dir/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_cfg.cpp.o.d"
+  "/root/repo/tests/test_dep.cpp" "tests/CMakeFiles/gca_tests.dir/test_dep.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_dep.cpp.o.d"
+  "/root/repo/tests/test_detect.cpp" "tests/CMakeFiles/gca_tests.dir/test_detect.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_detect.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/gca_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fusion.cpp" "tests/CMakeFiles/gca_tests.dir/test_fusion.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_fusion.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/gca_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/gca_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/gca_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_partial.cpp" "tests/CMakeFiles/gca_tests.dir/test_partial.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_partial.cpp.o.d"
+  "/root/repo/tests/test_placement.cpp" "tests/CMakeFiles/gca_tests.dir/test_placement.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_placement.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/gca_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_scalarize.cpp" "tests/CMakeFiles/gca_tests.dir/test_scalarize.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_scalarize.cpp.o.d"
+  "/root/repo/tests/test_section.cpp" "tests/CMakeFiles/gca_tests.dir/test_section.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_section.cpp.o.d"
+  "/root/repo/tests/test_ssa.cpp" "tests/CMakeFiles/gca_tests.dir/test_ssa.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_ssa.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/gca_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/gca_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/gca_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/gca_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gca_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/gca_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gca_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/gca_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/gca_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/section/CMakeFiles/gca_section.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/gca_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/gca_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gca_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gca_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
