@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local check: regular build + tests, then an ASan/UBSan build + tests.
+# Usage: scripts/check.sh [extra cmake args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "== regular build =="
+cmake -B build -S . "$@"
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitizer build (address;undefined) =="
+cmake -B build-asan -S . -DGCA_SANITIZE="address;undefined" "$@"
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== all checks passed =="

@@ -1,0 +1,286 @@
+//===- analysis/CommLint.cpp - Communication lint rules -------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CommLint.h"
+
+#include "support/StrUtil.h"
+
+#include <functional>
+#include <set>
+
+using namespace gca;
+
+namespace {
+
+/// A conservative constant range of an affine expression.
+struct ValueRange {
+  bool Known = false;
+  int64_t Min = 0;
+  int64_t Max = 0;
+};
+
+class Linter {
+public:
+  Linter(const AnalysisContext &Ctx, const CommPlan &Plan,
+         const CommPlan *Baseline, DiagEngine &Diags)
+      : Ctx(Ctx), Plan(Plan), Baseline(Baseline), Diags(Diags) {}
+
+  int run() {
+    checkUndistributedInDistributedLoop();
+    checkInnermostComm();
+    checkSubscriptRanges();
+    checkUnusedArrays();
+    checkNoCommBenefit();
+    return NumWarnings;
+  }
+
+private:
+  void warn(SourceLoc Loc, const std::string &Msg) {
+    Diags.warning(Loc, "%s", Msg.c_str());
+    ++NumWarnings;
+  }
+
+  /// Every array reference of \p S (LHS first, then RHS terms).
+  static std::vector<const ArrayRef *> refsOf(const AssignStmt *S) {
+    std::vector<const ArrayRef *> Refs;
+    if (!S->lhsIsScalar())
+      Refs.push_back(&S->lhs());
+    for (const RhsTerm &T : S->rhs())
+      if (T.isArrayLike())
+        Refs.push_back(&T.Ref);
+    return Refs;
+  }
+
+  /// Visits every assignment of the routine in source order.
+  void forEachAssign(const std::function<void(const AssignStmt *)> &Fn) {
+    Ctx.R.forEachStmt([&](Stmt *S) {
+      if (const auto *A = dyn_cast<AssignStmt>(S))
+        Fn(A);
+    });
+  }
+
+  // --- [undistributed-array] -------------------------------------------------
+
+  /// A loop is "distributed" when some assignment it encloses writes a
+  /// distributed array dimension subscripted by the loop's variable — its
+  /// iterations are spread across processors under owner-computes.
+  std::set<int> distributedLoops() {
+    std::set<int> Out;
+    forEachAssign([&](const AssignStmt *S) {
+      if (S->lhsIsScalar())
+        return;
+      const ArrayRef &Lhs = S->lhs();
+      const ArrayDecl &A = Ctx.R.array(Lhs.ArrayId);
+      for (unsigned D = 0; D < Lhs.Subs.size() && D < A.Dist.size(); ++D) {
+        if (A.Dist[D] == DistKind::Star)
+          continue;
+        for (int Var : Lhs.Subs[D].Lo.vars())
+          if (const LoopStmt *L = Ctx.varLoop(Var))
+            Out.insert(Ctx.G.loopIdOf(L));
+      }
+    });
+    return Out;
+  }
+
+  void checkUndistributedInDistributedLoop() {
+    std::set<int> DistLoops = distributedLoops();
+    if (DistLoops.empty())
+      return;
+    std::set<std::pair<int, int>> Reported; // (stmt, array)
+    forEachAssign([&](const AssignStmt *S) {
+      int InnermostDist = -1;
+      for (int LoopId : Ctx.G.loopNestOf(S))
+        if (DistLoops.count(LoopId))
+          InnermostDist = LoopId;
+      if (InnermostDist < 0)
+        return;
+      const std::string &LoopVar =
+          Ctx.R.loopVarName(Ctx.G.loop(InnermostDist).L->var());
+      for (const ArrayRef *Ref : refsOf(S)) {
+        const ArrayDecl &A = Ctx.R.array(Ref->ArrayId);
+        if (A.isDistributed() ||
+            !Reported.insert({S->id(), Ref->ArrayId}).second)
+          continue;
+        warn(Ref->Loc.isValid() ? Ref->Loc : S->loc(),
+             strFormat("undistributed array '%s' referenced inside "
+                       "distributed loop '%s'; the access is replicated on "
+                       "every processor [undistributed-array]",
+                       A.Name.c_str(), LoopVar.c_str()));
+      }
+    });
+  }
+
+  // --- [innermost-comm] ------------------------------------------------------
+
+  /// The definition whose dependence pins entry \p E at its CommLevel, for
+  /// the diagnostic. Prefers the def Earliest(u) stopped at.
+  const AssignStmt *blockingDef(const CommEntry &E) {
+    if (E.EarliestDef >= 0) {
+      const SsaDef &D = Ctx.S.def(E.EarliestDef);
+      if (D.Kind == DefKind::Regular)
+        return D.Stmt;
+    }
+    for (unsigned I = 0, N = Ctx.S.numDefs(); I != N; ++I) {
+      const SsaDef &D = Ctx.S.def(static_cast<int>(I));
+      if (D.Kind != DefKind::Regular || !Ctx.S.varIsArray(D.Var) ||
+          Ctx.S.arrayOfVar(D.Var) != E.ArrayId)
+        continue;
+      for (const ArrayRef &Ref : E.Refs)
+        if (Ctx.Dep.depLevel(D.Stmt, E.UseStmt, Ref) >= E.CommLevel)
+          return D.Stmt;
+    }
+    return nullptr;
+  }
+
+  void checkInnermostComm() {
+    for (const CommEntry &E : Plan.Entries) {
+      if (E.Eliminated || E.M.Kind == CommKind::Reduce)
+        continue;
+      const std::vector<int> &Nest = Ctx.G.loopNestOf(E.UseStmt);
+      if (Nest.empty() || E.CommLevel < static_cast<int>(Nest.size()))
+        continue;
+      SourceLoc Loc =
+          !E.Refs.empty() && E.Refs[0].Loc.isValid() ? E.Refs[0].Loc
+                                                     : E.UseStmt->loc();
+      const AssignStmt *Def = blockingDef(E);
+      std::string Blocker =
+          Def ? strFormat("the definition at %s", Def->loc().str().c_str())
+              : std::string("a dependence");
+      warn(Loc, strFormat("communication for '%s' cannot be vectorized: %s "
+                          "pins it inside the innermost loop '%s' "
+                          "[innermost-comm]",
+                          Ctx.R.array(E.ArrayId).Name.c_str(),
+                          Blocker.c_str(),
+                          Ctx.R.loopVarName(Ctx.G.loop(Nest.back()).L->var())
+                              .c_str()));
+    }
+  }
+
+  // --- [subscript-out-of-range] ----------------------------------------------
+
+  /// Range of \p E under the loop-variable ranges in \p Env.
+  bool evalRange(const AffineExpr &E, const std::vector<ValueRange> &Env,
+                 int64_t &Min, int64_t &Max) {
+    Min = Max = E.constPart();
+    for (int Var : E.vars()) {
+      if (Var >= static_cast<int>(Env.size()) || !Env[Var].Known)
+        return false;
+      int64_t C = E.coeff(Var);
+      Min += C * (C > 0 ? Env[Var].Min : Env[Var].Max);
+      Max += C * (C > 0 ? Env[Var].Max : Env[Var].Min);
+    }
+    return true;
+  }
+
+  void checkSubscript(const ArrayRef &Ref, unsigned Dim,
+                      const std::vector<ValueRange> &Env) {
+    const ArrayDecl &A = Ctx.R.array(Ref.ArrayId);
+    if (Dim >= A.rank())
+      return;
+    const Subscript &Sub = Ref.Subs[Dim];
+    int64_t LoMin, LoMax, HiMin, HiMax;
+    if (!evalRange(Sub.Lo, Env, LoMin, LoMax))
+      return;
+    HiMin = LoMin;
+    HiMax = LoMax;
+    if (Sub.isRange() && !evalRange(Sub.Hi, Env, HiMin, HiMax))
+      return;
+    if (Sub.isRange() && HiMax < LoMin)
+      return; // Provably empty section: nothing is accessed.
+    if (LoMin >= A.Lo[Dim] && HiMax <= A.Hi[Dim])
+      return;
+    int64_t Reach = LoMin < A.Lo[Dim] ? LoMin : HiMax;
+    warn(Ref.Loc, strFormat("subscript %u of '%s' can reach %lld, outside "
+                            "the declared bounds %lld:%lld "
+                            "[subscript-out-of-range]",
+                            Dim + 1, A.Name.c_str(),
+                            static_cast<long long>(Reach),
+                            static_cast<long long>(A.Lo[Dim]),
+                            static_cast<long long>(A.Hi[Dim])));
+  }
+
+  void checkSubscriptRanges() {
+    std::vector<ValueRange> Env(Ctx.R.loopVarNames().size());
+    std::function<void(const std::vector<Stmt *> &)> Walk =
+        [&](const std::vector<Stmt *> &Body) {
+          for (Stmt *S : Body) {
+            if (const auto *A = dyn_cast<AssignStmt>(S)) {
+              for (const ArrayRef *Ref : refsOf(A))
+                for (unsigned D = 0; D < Ref->Subs.size(); ++D)
+                  checkSubscript(*Ref, D, Env);
+            } else if (auto *L = dyn_cast<LoopStmt>(S)) {
+              int64_t LoMin = 0, LoMax = 0, HiMin = 0, HiMax = 0;
+              bool Known = evalRange(L->lo(), Env, LoMin, LoMax) &&
+                           evalRange(L->hi(), Env, HiMin, HiMax);
+              if (Known && L->step() > 0 && LoMin > HiMax)
+                continue; // Provably zero-trip: the body never runs.
+              ValueRange Saved =
+                  L->var() < static_cast<int>(Env.size())
+                      ? Env[L->var()]
+                      : ValueRange();
+              if (L->var() < static_cast<int>(Env.size())) {
+                ValueRange &R = Env[L->var()];
+                R.Known = Known;
+                R.Min = L->step() > 0 ? LoMin : HiMin;
+                R.Max = L->step() > 0 ? HiMax : LoMax;
+              }
+              Walk(L->body());
+              if (L->var() < static_cast<int>(Env.size()))
+                Env[L->var()] = Saved;
+            } else if (auto *I = dyn_cast<IfStmt>(S)) {
+              Walk(I->thenBody());
+              Walk(I->elseBody());
+            }
+          }
+        };
+    Walk(Ctx.R.body());
+  }
+
+  // --- [unused-array] ----------------------------------------------------------
+
+  void checkUnusedArrays() {
+    std::vector<bool> Used(Ctx.R.arrays().size(), false);
+    forEachAssign([&](const AssignStmt *S) {
+      for (const ArrayRef *Ref : refsOf(S))
+        Used[Ref->ArrayId] = true;
+    });
+    for (const ArrayDecl &A : Ctx.R.arrays())
+      if (!Used[A.Id])
+        warn(SourceLoc(),
+             strFormat("array '%s' is declared but never referenced "
+                       "[unused-array]",
+                       A.Name.c_str()));
+  }
+
+  // --- [no-comm-benefit] --------------------------------------------------------
+
+  void checkNoCommBenefit() {
+    if (!Baseline || Plan.Strat == Strategy::Orig || Plan.Entries.empty())
+      return;
+    if (Plan.Stats.NumEliminated > 0 ||
+        Plan.Stats.totalGroups() < Baseline->Stats.totalGroups())
+      return;
+    warn(SourceLoc(),
+         strFormat("global placement found no improvement over message "
+                   "vectorization in '%s' (%d messages either way); "
+                   "consider restructuring its loops [no-comm-benefit]",
+                   Ctx.R.name().c_str(), Plan.Stats.totalGroups()));
+  }
+
+  const AnalysisContext &Ctx;
+  const CommPlan &Plan;
+  const CommPlan *Baseline;
+  DiagEngine &Diags;
+  int NumWarnings = 0;
+};
+
+} // namespace
+
+int gca::lintRoutine(const AnalysisContext &Ctx, const CommPlan &Plan,
+                     const CommPlan *Baseline, DiagEngine &Diags) {
+  return Linter(Ctx, Plan, Baseline, Diags).run();
+}

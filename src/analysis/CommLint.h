@@ -1,0 +1,46 @@
+//===- analysis/CommLint.h - Communication lint rules -----------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// User-facing communication lints built on the same analyses the placer
+/// uses. Each rule emits DiagEngine warnings tagged [rule-name]:
+///
+///  - [undistributed-array]: an undistributed (replicated) array is
+///    referenced inside a loop that distributes work across processors, so
+///    the reference is replicated on every processor.
+///  - [innermost-comm]: a communication is pinned inside the innermost loop
+///    of its use (message vectorization is impossible); cites the blocking
+///    definition.
+///  - [subscript-out-of-range]: an affine subscript can statically exceed
+///    the array's declared extent under the enclosing loop bounds.
+///  - [unused-array]: an array is declared (and possibly distributed) but
+///    never referenced.
+///  - [no-comm-benefit]: the routine's plan is no better than plain message
+///    vectorization — nothing was eliminated or combined, suggesting the
+///    loop structure blocks the global optimizations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_ANALYSIS_COMMLINT_H
+#define GCA_ANALYSIS_COMMLINT_H
+
+#include "core/CommEntry.h"
+#include "core/Context.h"
+#include "support/Diag.h"
+
+namespace gca {
+
+/// Runs every lint rule over one analyzed routine. \p Plan is the plan the
+/// compilation produced; \p Baseline optionally supplies the pure
+/// message-vectorization (Strategy::Orig) plan, enabling the
+/// [no-comm-benefit] rule. \returns the number of warnings emitted.
+int lintRoutine(const AnalysisContext &Ctx, const CommPlan &Plan,
+                const CommPlan *Baseline, DiagEngine &Diags);
+
+} // namespace gca
+
+#endif // GCA_ANALYSIS_COMMLINT_H

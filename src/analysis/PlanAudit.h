@@ -1,0 +1,111 @@
+//===- analysis/PlanAudit.h - Static communication plan auditor -*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static auditor for communication plans: given the analysis context and a
+/// finished CommPlan, it independently re-derives and checks the structural
+/// invariants the placement algorithm promises (the safety side of Claims
+/// 4.1/4.7), at compile time and for every program — complementing the
+/// element-granularity dynamic simulator in runtime/Verify.{h,cpp}, which
+/// needs tiny problem sizes and a full lowering.
+///
+/// Five invariant families are checked:
+///
+///  1. *Range/dominance*: every live entry is served by exactly one group
+///     whose final placement lies in the entry's [Earliest(u), Latest(u)]
+///     dominator segment and dominates the use (reductions are inverted:
+///     the placement is at-or-after the partial-sum statement).
+///  2. *Intervening defs*: no SSA definition of the communicated array whose
+///     written elements feed the use (a feasible flow dependence on the
+///     entry's references) executes between the placement point and the use
+///     — checked by walking the routine's regular defs against the dominator
+///     tree, and by requiring the placement to sit inside every loop that
+///     carries such a dependence.
+///  3. *Subset coverage*: the data descriptor of every entry — member or
+///     subsumption-eliminated — is covered by its serving group's descriptors
+///     (section containment plus mapping subsumption, Section 4.6).
+///  4. *Redundancy availability*: every eliminated entry resolves through its
+///     SubsumedBy chain to a live serving group that is available on all
+///     paths to the eliminated use.
+///  5. *Combining legality*: each group's members share the placement as a
+///     common original candidate (the latest-common-position rule of Section
+///     4.7), have mutually compatible mappings of the group's kind, and the
+///     combined per-processor payload respects the combining threshold
+///     (estimatePerProcBytes, "currently set to 20 KB for SP2").
+///
+/// Violations carry entry/group ids, a source location, and a message; they
+/// can be rendered as DiagEngine errors or as a machine-readable JSON report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_ANALYSIS_PLANAUDIT_H
+#define GCA_ANALYSIS_PLANAUDIT_H
+
+#include "core/Placement.h"
+#include "support/Diag.h"
+
+#include <string>
+#include <vector>
+
+namespace gca {
+
+/// The invariant family a violation belongs to.
+enum class AuditRule : uint8_t {
+  Structure,        ///< Plan cross-references are inconsistent (ids, lists).
+  PlacementRange,   ///< Placement outside [Earliest, Latest] or not
+                    ///< dominating the use.
+  InterveningDef,   ///< A definition of communicated data executes between
+                    ///< placement and use.
+  SubsetCoverage,   ///< Entry data not covered by its group's descriptors.
+  RedundancyAvail,  ///< Eliminated entry without an available equivalent.
+  CombineLegality,  ///< Illegal combining (common position, compatibility,
+                    ///< size threshold).
+};
+
+const char *auditRuleName(AuditRule Rule);
+
+/// One invariant violation found by the auditor.
+struct AuditViolation {
+  AuditRule Rule;
+  int EntryId = -1; ///< Offending entry, -1 for group-level violations.
+  int GroupId = -1; ///< Serving/offending group, -1 when unresolved.
+  SourceLoc Loc;    ///< Source position of the use (or group's first member).
+  std::string Message;
+
+  /// Renders "rule(entry=3,group=1) @2:5: message".
+  std::string str() const;
+};
+
+/// The auditor's result for one plan.
+struct AuditReport {
+  Strategy Strat = Strategy::Global;
+  int EntriesChecked = 0;
+  int GroupsChecked = 0;
+  std::vector<AuditViolation> Violations;
+
+  bool ok() const { return Violations.empty(); }
+
+  /// Human-readable rendering, one violation per line (with a pass/fail
+  /// header).
+  std::string str() const;
+
+  /// Machine-readable JSON rendering:
+  /// {"ok":bool,"strategy":...,"entries":N,"groups":N,"violations":[...]}.
+  std::string json() const;
+};
+
+/// Audits \p Plan against the invariants above. \p Opts supplies the
+/// combining threshold and processor count the plan was built under. When
+/// \p Diags is non-null every violation is additionally reported as a
+/// DiagEngine error at the offending use's source location.
+AuditReport auditPlan(const AnalysisContext &Ctx, const CommPlan &Plan,
+                      const PlacementOptions &Opts,
+                      DiagEngine *Diags = nullptr);
+
+} // namespace gca
+
+#endif // GCA_ANALYSIS_PLANAUDIT_H

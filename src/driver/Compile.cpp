@@ -7,6 +7,7 @@
 
 #include "driver/Compile.h"
 
+#include "analysis/CommLint.h"
 #include "xform/Fuse.h"
 #include "xform/Scalarize.h"
 
@@ -47,6 +48,29 @@ CompileResult gca::compileSource(const std::string &Source,
     fuseLoops(*Result.Prog);
   for (auto &R : Result.Prog->Routines)
     Result.Routines.push_back(analyzeRoutine(*R, Opts.Placement));
+  if (Opts.Audit || Opts.Lint) {
+    Diags.clear();
+    for (RoutineResult &RR : Result.Routines) {
+      if (Opts.Audit) {
+        RR.Audit = auditPlan(*RR.Ctx, RR.Plan, Opts.Placement, &Diags);
+        Result.AuditOk = Result.AuditOk && RR.Audit.ok();
+      }
+      if (Opts.Lint) {
+        // The no-benefit rule compares against pure message vectorization.
+        CommPlan Baseline;
+        if (Opts.Placement.Strat != Strategy::Orig) {
+          PlacementOptions BaseOpts = Opts.Placement;
+          BaseOpts.Strat = Strategy::Orig;
+          Baseline = planCommunication(*RR.Ctx, BaseOpts);
+        }
+        lintRoutine(*RR.Ctx, RR.Plan,
+                    Opts.Placement.Strat != Strategy::Orig ? &Baseline
+                                                           : nullptr,
+                    Diags);
+      }
+    }
+    Result.Diagnostics = Diags.str();
+  }
   Result.Ok = true;
   return Result;
 }

@@ -15,6 +15,7 @@
 #ifndef GCA_DRIVER_COMPILE_H
 #define GCA_DRIVER_COMPILE_H
 
+#include "analysis/PlanAudit.h"
 #include "core/Placement.h"
 #include "frontend/Parser.h"
 
@@ -34,6 +35,17 @@ struct CompileOptions {
   /// paper's Section 2.3 notes "is not always possible"); off by default to
   /// match the pHPF pipeline.
   bool FuseLoops = false;
+  /// Statically audit every produced plan (analysis/PlanAudit.h); violations
+  /// land in CompileResult::Diagnostics and clear AuditOk. On by default in
+  /// asserts-enabled builds, matching the cost profile of assertions.
+#ifdef NDEBUG
+  bool Audit = false;
+#else
+  bool Audit = true;
+#endif
+  /// Run the communication lint rules (analysis/CommLint.h); warnings land
+  /// in CompileResult::Diagnostics.
+  bool Lint = false;
 };
 
 /// Analysis results for one routine.
@@ -41,12 +53,18 @@ struct RoutineResult {
   Routine *R = nullptr;
   std::unique_ptr<AnalysisContext> Ctx;
   CommPlan Plan;
+  /// Populated when CompileOptions::Audit is set.
+  AuditReport Audit;
 };
 
 /// Results for one compilation.
 struct CompileResult {
   bool Ok = false;
+  /// False when the plan auditor found violations in some routine.
+  bool AuditOk = true;
   std::string Errors;
+  /// Rendered audit errors and lint warnings (DiagEngine::str() format).
+  std::string Diagnostics;
   std::unique_ptr<Program> Prog;
   std::vector<RoutineResult> Routines;
 

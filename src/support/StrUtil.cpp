@@ -52,6 +52,36 @@ std::string gca::trim(const std::string &S) {
   return S.substr(B, E - B);
 }
 
+std::string gca::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += strFormat("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
 std::string gca::formatBytes(double Bytes) {
   if (Bytes < 1024.0)
     return strFormat("%.0f B", Bytes);

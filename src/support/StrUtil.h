@@ -34,6 +34,10 @@ std::string join(const std::vector<std::string> &Parts,
 /// Strips leading and trailing ASCII whitespace.
 std::string trim(const std::string &S);
 
+/// Escapes \p S for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string jsonEscape(const std::string &S);
+
 /// Renders a byte count in a human-friendly form ("512 B", "20.0 KB", ...).
 std::string formatBytes(double Bytes);
 

@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/PlanAudit.h"
 #include "driver/Compile.h"
 #include "lower/Schedule.h"
 #include "runtime/Verify.h"
@@ -158,6 +159,12 @@ TEST_P(Fuzz, PipelineSafeAndMonotone) {
         }
       }
 
+      // (4) Static audit: the plan's structural invariants re-derived
+      // independently (the fuzz oracle for analysis/PlanAudit.h).
+      AuditReport A = auditPlan(*RR.Ctx, RR.Plan, Opts.Placement);
+      EXPECT_TRUE(A.ok()) << "[" << strategyName(Strats[SI]) << "]\n"
+                          << A.str();
+
       // (1) Provenance safety on a 2x2 grid.
       ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
       VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
@@ -179,6 +186,8 @@ TEST_P(Fuzz, PipelineSafeAndMonotone) {
     int Total = 0;
     for (const RoutineResult &RR : R.Routines) {
       Total += RR.Plan.Stats.totalGroups();
+      AuditReport A = auditPlan(*RR.Ctx, RR.Plan, Opts.Placement);
+      EXPECT_TRUE(A.ok()) << "[" << strategyName(S) << "]\n" << A.str();
       ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
       VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
       EXPECT_TRUE(V.Ok) << "[" << strategyName(S) << "]\n" << V.str();
