@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compile.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 #include "xform/Scalarize.h"
 
@@ -80,5 +81,35 @@ static void BM_FullPipeline(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_FullPipeline);
+
+// Parallel batch throughput: full compilations of the whole workload suite
+// dispatched over a thread pool, at 1/2/4/8 jobs. Sessions share no mutable
+// state, so scaling is bounded only by cores and the allocator; items/s is
+// compilations per wall second (compare across job counts for the speedup).
+static void BM_ParallelBatch(benchmark::State &State) {
+  unsigned Jobs = static_cast<unsigned>(State.range(0));
+  std::vector<const Workload *> Ws = allWorkloads();
+  constexpr int RoundsPerIter = 4;
+  for (auto _ : State) {
+    ThreadPool Pool(Jobs);
+    for (int Round = 0; Round != RoundsPerIter; ++Round)
+      for (const Workload *W : Ws)
+        Pool.async([W] {
+          CompileOptions Opts;
+          CompileResult R = compileSource(W->Source, Opts);
+          benchmark::DoNotOptimize(&R);
+        });
+    Pool.wait();
+  }
+  State.SetItemsProcessed(State.iterations() * RoundsPerIter *
+                          static_cast<int64_t>(Ws.size()));
+}
+BENCHMARK(BM_ParallelBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

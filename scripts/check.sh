@@ -1,5 +1,11 @@
 #!/usr/bin/env bash
-# Full local check: regular build + tests, then an ASan/UBSan build + tests.
+# Full local check, in three stages:
+#   1. regular build + the whole ctest suite (use `ctest -L tier1` by hand
+#      for the fast gate);
+#   2. ASan/UBSan build + the whole suite;
+#   3. TSan build of the parallel batch driver, verifying that an 8-way
+#      compile of every built-in workload is race-free and bitwise equal to
+#      a serial run.
 # Usage: scripts/check.sh [extra cmake args...]
 set -euo pipefail
 
@@ -15,5 +21,11 @@ echo "== sanitizer build (address;undefined) =="
 cmake -B build-asan -S . -DGCA_SANITIZE="address;undefined" "$@"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== thread sanitizer run (parallel batch driver) =="
+cmake -B build-tsan -S . -DGCA_SANITIZE="thread" "$@"
+cmake --build build-tsan -j "$JOBS" --target gca-compile
+build-tsan/tools/gca-compile --workloads --jobs 8 --stats --audit --lint \
+  --verify-determinism > /dev/null
 
 echo "== all checks passed =="

@@ -8,6 +8,7 @@
 #include "analysis/PlanAudit.h"
 
 #include "core/Detect.h"
+#include "support/Stats.h"
 #include "support/StrUtil.h"
 
 #include <algorithm>
@@ -430,5 +431,13 @@ private:
 
 AuditReport gca::auditPlan(const AnalysisContext &Ctx, const CommPlan &Plan,
                            const PlacementOptions &Opts, DiagEngine *Diags) {
-  return Auditor(Ctx, Plan, Opts, Diags).run();
+  AuditReport Report = Auditor(Ctx, Plan, Opts, Diags).run();
+  if (StatsRegistry *S = Opts.Stats) {
+    S->add("audit.entries-checked", Report.EntriesChecked);
+    S->add("audit.groups-checked", Report.GroupsChecked);
+    // The six invariant families of the file comment each ran once.
+    S->add("audit.rules-checked", 6);
+    S->add("audit.violations", static_cast<int64_t>(Report.Violations.size()));
+  }
+  return Report;
 }

@@ -28,6 +28,8 @@
 
 namespace gca {
 
+class StatsRegistry;
+
 /// One communication requirement for one use.
 struct CommEntry {
   int Id = -1;
@@ -132,6 +134,11 @@ struct PlacementOptions {
   /// before the first read of the result scalar, letting reductions
   /// computed at different statements combine. Global/Optimal only.
   bool DeferReductions = false;
+  /// When non-null, the placement and audit phases export their counters
+  /// (entries detected, subset/redundancy eliminations, combined groups,
+  /// rules checked) here. Owned by the caller — typically the compilation
+  /// Session — so concurrent compilations never share a registry.
+  StatsRegistry *Stats = nullptr;
 };
 
 /// Static message statistics, per communication kind (the Figure 10 table).

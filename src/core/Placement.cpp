@@ -9,6 +9,7 @@
 
 #include "core/Detect.h"
 #include "core/EarliestLatest.h"
+#include "support/Stats.h"
 #include "support/StrUtil.h"
 
 #include <algorithm>
@@ -432,6 +433,15 @@ private:
       Plan.Stats.NumEliminated += E.Eliminated;
     for (const CommGroup &G : Plan.Groups)
       ++Plan.Stats.NumGroups[static_cast<int>(G.Kind)];
+    if (StatsRegistry *S = Opts.Stats) {
+      S->add("placement.entries-detected", Plan.Stats.NumEntries);
+      S->add("placement.redundancy-eliminated", Plan.Stats.NumEliminated);
+      S->add("placement.groups", Plan.Stats.totalGroups());
+      int64_t Combined = 0;
+      for (const CommGroup &G : Plan.Groups)
+        Combined += G.Members.size() > 1;
+      S->add("placement.combined-groups", Combined);
+    }
   }
 
   // --- Strategy: orig (message vectorization only) -------------------------
@@ -563,6 +573,7 @@ private:
 
   void subsetElimination(CommPlan &Plan) {
     // CommSet(S1) subset-of CommSet(S2) -> empty CommSet(S1) (Section 4.5).
+    int64_t SlotsCleared = 0;
     bool Progress = true;
     while (Progress) {
       Progress = false;
@@ -589,11 +600,14 @@ private:
             Cand.erase(std::remove(Cand.begin(), Cand.end(), S1), Cand.end());
           }
           Set1.clear();
+          ++SlotsCleared;
           Progress = true;
           break;
         }
       }
     }
+    if (Opts.Stats && SlotsCleared)
+      Opts.Stats->add("placement.subset-eliminated", SlotsCleared);
   }
 
   void redundancyElimination(CommPlan &Plan) {

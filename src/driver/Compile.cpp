@@ -7,9 +7,7 @@
 
 #include "driver/Compile.h"
 
-#include "analysis/CommLint.h"
-#include "xform/Fuse.h"
-#include "xform/Scalarize.h"
+#include "driver/Pipeline.h"
 
 using namespace gca;
 
@@ -30,47 +28,7 @@ RoutineResult gca::analyzeRoutine(Routine &R, const PlacementOptions &Opts) {
 
 CompileResult gca::compileSource(const std::string &Source,
                                  const CompileOptions &Opts) {
-  CompileResult Result;
-  DiagEngine Diags;
-  Result.Prog = parseProgram(Source, Diags, Opts.Params);
-  if (Diags.hasErrors() || !Result.Prog) {
-    Result.Errors = Diags.str();
-    return Result;
-  }
-  if (Opts.Scalarize) {
-    scalarizeProgram(*Result.Prog, Diags);
-    if (Diags.hasErrors()) {
-      Result.Errors = Diags.str();
-      return Result;
-    }
-  }
-  if (Opts.FuseLoops)
-    fuseLoops(*Result.Prog);
-  for (auto &R : Result.Prog->Routines)
-    Result.Routines.push_back(analyzeRoutine(*R, Opts.Placement));
-  if (Opts.Audit || Opts.Lint) {
-    Diags.clear();
-    for (RoutineResult &RR : Result.Routines) {
-      if (Opts.Audit) {
-        RR.Audit = auditPlan(*RR.Ctx, RR.Plan, Opts.Placement, &Diags);
-        Result.AuditOk = Result.AuditOk && RR.Audit.ok();
-      }
-      if (Opts.Lint) {
-        // The no-benefit rule compares against pure message vectorization.
-        CommPlan Baseline;
-        if (Opts.Placement.Strat != Strategy::Orig) {
-          PlacementOptions BaseOpts = Opts.Placement;
-          BaseOpts.Strat = Strategy::Orig;
-          Baseline = planCommunication(*RR.Ctx, BaseOpts);
-        }
-        lintRoutine(*RR.Ctx, RR.Plan,
-                    Opts.Placement.Strat != Strategy::Orig ? &Baseline
-                                                           : nullptr,
-                    Diags);
-      }
-    }
-    Result.Diagnostics = Diags.str();
-  }
-  Result.Ok = true;
-  return Result;
+  Session S(Source, Opts);
+  S.run();
+  return S.take();
 }

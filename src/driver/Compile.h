@@ -46,6 +46,10 @@ struct CompileOptions {
   /// Run the communication lint rules (analysis/CommLint.h); warnings land
   /// in CompileResult::Diagnostics.
   bool Lint = false;
+  /// Name of a pipeline pass ("parse", "scalarize", "fuse", "build-context",
+  /// "placement", "audit", "lint", or "all") after which the session records
+  /// a dump of the program and any plans (Session::Dumps). Empty = never.
+  std::string DumpAfter;
 };
 
 /// Analysis results for one routine.
@@ -63,7 +67,8 @@ struct CompileResult {
   /// False when the plan auditor found violations in some routine.
   bool AuditOk = true;
   std::string Errors;
-  /// Rendered audit errors and lint warnings (DiagEngine::str() format).
+  /// Rendered non-fatal diagnostics (DiagEngine::str() format): frontend
+  /// warnings/notes followed by audit errors and lint warnings.
   std::string Diagnostics;
   std::unique_ptr<Program> Prog;
   std::vector<RoutineResult> Routines;
@@ -72,7 +77,9 @@ struct CompileResult {
   const RoutineResult *find(const std::string &Name) const;
 };
 
-/// Parses, scalarizes and analyzes \p Source under \p Opts.
+/// Parses, scalarizes and analyzes \p Source under \p Opts. A thin wrapper
+/// over the instrumented pass pipeline in driver/Pipeline.h; use a Session
+/// directly for timing, counters, or dump-after hooks.
 CompileResult compileSource(const std::string &Source,
                             const CompileOptions &Opts);
 

@@ -1,0 +1,208 @@
+//===- driver/Pipeline.cpp - Instrumented pass pipeline -------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "analysis/CommLint.h"
+#include "ir/Printer.h"
+#include "support/StrUtil.h"
+#include "xform/Fuse.h"
+#include "xform/Scalarize.h"
+
+using namespace gca;
+
+//===----------------------------------------------------------------------===//
+// Standard passes
+//===----------------------------------------------------------------------===//
+
+static bool passParse(Session &S) {
+  S.Result.Prog = parseProgram(S.Source, S.Diags, S.Opts.Params);
+  if (S.Diags.hasErrors() || !S.Result.Prog) {
+    S.Result.Errors = S.Diags.str();
+    return false;
+  }
+  S.Stats.add("frontend.routines",
+              static_cast<int64_t>(S.Result.Prog->Routines.size()));
+  return true;
+}
+
+static bool passScalarize(Session &S) {
+  if (!S.Opts.Scalarize)
+    return true;
+  unsigned ErrsBefore = S.Diags.errorCount();
+  scalarizeProgram(*S.Result.Prog, S.Diags);
+  if (S.Diags.errorCount() > ErrsBefore) {
+    S.Result.Errors = S.Diags.str();
+    return false;
+  }
+  return true;
+}
+
+static bool passFuse(Session &S) {
+  if (S.Opts.FuseLoops)
+    S.Stats.add("fuse.loops-fused", fuseLoops(*S.Result.Prog));
+  return true;
+}
+
+static bool passBuildContext(Session &S) {
+  for (auto &R : S.Result.Prog->Routines) {
+    ScopedTimer T(S.Times, R->name());
+    RoutineResult RR;
+    RR.R = R.get();
+    RR.Ctx = std::make_unique<AnalysisContext>(*R);
+    S.Result.Routines.push_back(std::move(RR));
+  }
+  return true;
+}
+
+static bool passPlacement(Session &S) {
+  PlacementOptions POpts = S.Opts.Placement;
+  POpts.Stats = &S.Stats;
+  for (RoutineResult &RR : S.Result.Routines) {
+    ScopedTimer T(S.Times, RR.R->name());
+    RR.Plan = planCommunication(*RR.Ctx, POpts);
+  }
+  return true;
+}
+
+static bool passAudit(Session &S) {
+  if (!S.Opts.Audit)
+    return true;
+  PlacementOptions POpts = S.Opts.Placement;
+  POpts.Stats = &S.Stats;
+  for (RoutineResult &RR : S.Result.Routines) {
+    ScopedTimer T(S.Times, RR.R->name());
+    RR.Audit = auditPlan(*RR.Ctx, RR.Plan, POpts, &S.Diags);
+    S.Result.AuditOk = S.Result.AuditOk && RR.Audit.ok();
+  }
+  return true;
+}
+
+static bool passLint(Session &S) {
+  if (!S.Opts.Lint)
+    return true;
+  for (size_t I = 0; I != S.Result.Routines.size(); ++I) {
+    RoutineResult &RR = S.Result.Routines[I];
+    ScopedTimer T(S.Times, RR.R->name());
+    int NumWarnings =
+        lintRoutine(*RR.Ctx, RR.Plan, S.origBaseline(I), S.Diags);
+    S.Stats.add("lint.warnings", NumWarnings);
+  }
+  return true;
+}
+
+const Pipeline &Pipeline::standard() {
+  static const Pipeline P = [] {
+    Pipeline P;
+    P.add("parse", passParse)
+        .add("scalarize", passScalarize)
+        .add("fuse", passFuse)
+        .add("build-context", passBuildContext)
+        .add("placement", passPlacement)
+        .add("audit", passAudit)
+        .add("lint", passLint);
+    return P;
+  }();
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline runner
+//===----------------------------------------------------------------------===//
+
+Pipeline &Pipeline::add(std::string Name, std::function<bool(Session &)> Fn) {
+  Passes.push_back({std::move(Name), std::move(Fn)});
+  return *this;
+}
+
+bool Pipeline::run(Session &S) const {
+  for (const Pass &P : Passes) {
+    StatsRegistry::Snapshot Before = S.Stats.snapshot();
+    S.Times.enter(P.Name);
+    bool Ok = P.Fn(S);
+    TimeRecord Elapsed = S.Times.exit();
+    S.Passes.push_back({P.Name, Elapsed, S.Stats.diff(Before)});
+    if (Ok && !S.Opts.DumpAfter.empty() &&
+        (S.Opts.DumpAfter == "all" || S.Opts.DumpAfter == P.Name))
+      S.Dumps.emplace_back(P.Name, S.dump());
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+Session::Session(std::string Source, CompileOptions Opts)
+    : Opts(std::move(Opts)), Source(std::move(Source)) {}
+
+bool Session::run(const Pipeline &P) {
+  Result.Ok = P.run(*this);
+  return Result.Ok;
+}
+
+CompileResult Session::take() {
+  if (!Taken && Result.Ok)
+    Result.Diagnostics = Diags.str();
+  Taken = true;
+  return std::move(Result);
+}
+
+const CommPlan *Session::origBaseline(size_t RoutineIdx) {
+  if (Opts.Placement.Strat == Strategy::Orig)
+    return nullptr;
+  if (Baselines.size() < Result.Routines.size())
+    Baselines.resize(Result.Routines.size());
+  if (!Baselines[RoutineIdx]) {
+    PlacementOptions BaseOpts = Opts.Placement;
+    BaseOpts.Strat = Strategy::Orig;
+    BaseOpts.Stats = nullptr; // Don't fold baseline work into plan counters.
+    Baselines[RoutineIdx] = std::make_unique<CommPlan>(
+        planCommunication(*Result.Routines[RoutineIdx].Ctx, BaseOpts));
+    Stats.add("placement.baseline-groups",
+              Baselines[RoutineIdx]->Stats.totalGroups());
+  }
+  return Baselines[RoutineIdx].get();
+}
+
+std::string Session::dump() const {
+  std::string Out;
+  if (!Result.Prog)
+    return Out;
+  for (const auto &R : Result.Prog->Routines) {
+    Out += printRoutine(*R);
+    if (const RoutineResult *RR = Result.find(R->name()))
+      if (!RR->Plan.Entries.empty() || !RR->Plan.Groups.empty())
+        Out += RR->Plan.str(*R);
+  }
+  return Out;
+}
+
+std::string Session::timeReportJson() const {
+  std::string Out = "{\"passes\":[";
+  for (size_t I = 0; I != Passes.size(); ++I) {
+    const PassRecord &P = Passes[I];
+    if (I)
+      Out += ",";
+    Out += strFormat("{\"name\":\"%s\",\"wall_s\":%.6f,\"cpu_s\":%.6f,"
+                     "\"counters\":{",
+                     P.Name.c_str(), P.Time.WallSec, P.Time.CpuSec);
+    bool First = true;
+    for (const auto &[Name, Value] : P.Counters) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += strFormat("\"%s\":%lld", Name.c_str(),
+                       static_cast<long long>(Value));
+    }
+    Out += "}}";
+  }
+  Out += "],\"regions\":" + Times.json() + "}";
+  return Out;
+}

@@ -1,0 +1,131 @@
+//===- driver/Pipeline.h - Instrumented pass pipeline -----------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass-manager view of the Figure-6 compilation flow. A Session owns
+/// every piece of state for one compilation — source text, diagnostics,
+/// counter registry, time trace, intermediate program, per-routine results —
+/// so sessions are reentrant: any number may run concurrently on different
+/// threads with no shared mutable state. A Pipeline is an ordered list of
+/// named Pass objects; the standard pipeline is
+///
+///   parse -> scalarize -> fuse -> build-context -> placement -> audit -> lint
+///
+/// where option-gated passes (scalarize, fuse, audit, lint) are no-ops when
+/// disabled, keeping pass names stable for dump-after hooks. The pipeline
+/// runner times every pass (wall + thread CPU), snapshots the counter
+/// registry around it so increments are attributed to the pass that made
+/// them, and records dumps after the pass named by CompileOptions::DumpAfter.
+///
+/// compileSource() in Compile.h is a thin wrapper over Session and remains
+/// the one-call entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_DRIVER_PIPELINE_H
+#define GCA_DRIVER_PIPELINE_H
+
+#include "driver/Compile.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <functional>
+
+namespace gca {
+
+class Session;
+
+/// One named stage of the pipeline. Fn returns false to abort the run
+/// (a fatal error; the session's Result.Errors is expected to be set).
+struct Pass {
+  std::string Name;
+  std::function<bool(Session &)> Fn;
+};
+
+/// Instrumentation captured around one pass execution.
+struct PassRecord {
+  std::string Name;
+  TimeRecord Time;
+  /// Counters incremented while the pass ran (name -> increment).
+  StatsRegistry::Snapshot Counters;
+};
+
+/// An ordered, immutable list of passes.
+class Pipeline {
+public:
+  Pipeline &add(std::string Name, std::function<bool(Session &)> Fn);
+  const std::vector<Pass> &passes() const { return Passes; }
+
+  /// Runs every pass over \p S in order, instrumenting each; stops at the
+  /// first pass that returns false. \returns true when all passes ran.
+  bool run(Session &S) const;
+
+  /// The standard Figure-6 pipeline (see the file comment).
+  static const Pipeline &standard();
+
+private:
+  std::vector<Pass> Passes;
+};
+
+/// All state for one compilation of one source buffer.
+class Session {
+public:
+  Session(std::string Source, CompileOptions Opts);
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Runs the standard pipeline. \returns Result.Ok.
+  bool run() { return run(Pipeline::standard()); }
+  bool run(const Pipeline &P);
+
+  /// Finalizes and moves the result out (renders accumulated non-error
+  /// diagnostics into Result.Diagnostics). The session keeps its
+  /// instrumentation (Stats, Times, Passes, Dumps) for reporting.
+  CompileResult take();
+
+  /// The Strategy::Orig baseline plan for routine \p RoutineIdx, computed
+  /// on first request and cached — the lint no-benefit rule and any stats
+  /// consumer share one computation. Null when the session's own strategy
+  /// already is Orig.
+  const CommPlan *origBaseline(size_t RoutineIdx);
+
+  /// Renders the current program (HPF-lite text) and any computed plans;
+  /// the payload of dump-after records.
+  std::string dump() const;
+
+  /// Hierarchical per-pass (and per-routine, under placement/audit/lint)
+  /// time report.
+  std::string timeReport() const { return Times.report(); }
+
+  /// Per-pass timings and counters as one JSON object:
+  /// {"passes":[{name,wall_s,cpu_s,counters{}}...],"regions":[tree]}.
+  std::string timeReportJson() const;
+
+  CompileOptions Opts;
+  std::string Source;
+
+  /// Accumulates across the whole run — frontend warnings are *kept* when
+  /// audit/lint run later (they all render into Result.Diagnostics).
+  DiagEngine Diags;
+  StatsRegistry Stats;
+  TimeTrace Times;
+  /// One record per executed pass, in execution order.
+  std::vector<PassRecord> Passes;
+  /// (pass name, dump text) records made by dump-after hooks.
+  std::vector<std::pair<std::string, std::string>> Dumps;
+
+  /// The result under construction; passes populate it in place.
+  CompileResult Result;
+
+private:
+  std::vector<std::unique_ptr<CommPlan>> Baselines;
+  bool Taken = false;
+};
+
+} // namespace gca
+
+#endif // GCA_DRIVER_PIPELINE_H

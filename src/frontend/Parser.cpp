@@ -10,6 +10,7 @@
 #include "frontend/Lexer.h"
 
 #include <cassert>
+#include <set>
 
 using namespace gca;
 
@@ -107,6 +108,8 @@ private:
   DiagEngine &Diags;
   ParamMap Overrides;
   ParamMap Params;
+  /// Names introduced by `param` declarations (for override checking).
+  std::set<std::string> DeclaredParams;
   Routine *R = nullptr;
   std::vector<Scope> Scopes;
 };
@@ -198,6 +201,7 @@ void ParserImpl::parseParam() {
   advance();
   expect(TokKind::Assign, "'='");
   int64_t Value = parseConstExpr();
+  DeclaredParams.insert(Name);
   // Command-line overrides win over source-level values.
   if (!Overrides.count(Name))
     Params[Name] = Value;
@@ -548,6 +552,15 @@ std::unique_ptr<Program> ParserImpl::parseFile() {
   }
   while (acceptKeyword("param"))
     parseParam();
+  // Overrides that matched no `param` declaration are almost always typos
+  // in a -p flag or a benchmark sweep; the binding still takes effect (it
+  // introduces the name), so this is a warning, not an error.
+  for (const auto &[Name, Value] : Overrides)
+    if (!DeclaredParams.count(Name))
+      Diags.warning(SourceLoc(),
+                    "parameter override '%s=%lld' does not match any param "
+                    "declaration",
+                    Name.c_str(), static_cast<long long>(Value));
 
   if (cur().isKeyword("routine")) {
     while (acceptKeyword("routine")) {

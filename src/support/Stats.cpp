@@ -1,0 +1,79 @@
+//===- support/Stats.cpp - Named counter registry -------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/StrUtil.h"
+
+using namespace gca;
+
+void StatsRegistry::add(const std::string &Name, int64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters[Name] += Delta;
+}
+
+int64_t StatsRegistry::get(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+bool StatsRegistry::empty() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters.empty();
+}
+
+StatsRegistry::Snapshot StatsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters;
+}
+
+StatsRegistry::Snapshot StatsRegistry::diff(const Snapshot &Before) const {
+  Snapshot Out;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[Name, Value] : Counters) {
+    auto It = Before.find(Name);
+    int64_t Delta = Value - (It == Before.end() ? 0 : It->second);
+    if (Delta != 0)
+      Out[Name] = Delta;
+  }
+  return Out;
+}
+
+void StatsRegistry::merge(const StatsRegistry &Other) {
+  Snapshot Theirs = Other.snapshot();
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[Name, Value] : Theirs)
+    Counters[Name] += Value;
+}
+
+std::string StatsRegistry::str() const {
+  Snapshot Snap = snapshot();
+  size_t Width = 0;
+  for (const auto &[Name, Value] : Snap)
+    Width = std::max(Width, std::to_string(Value).size());
+  std::string Out;
+  for (const auto &[Name, Value] : Snap)
+    Out += strFormat("%*lld %s\n", static_cast<int>(Width + 2),
+                     static_cast<long long>(Value), Name.c_str());
+  return Out;
+}
+
+std::string StatsRegistry::json() const {
+  Snapshot Snap = snapshot();
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, Value] : Snap) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += strFormat("\"%s\":%lld", Name.c_str(),
+                     static_cast<long long>(Value));
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- support/Stats.h - Named counter registry -----------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A named counter registry in the style of LLVM's `Statistic`, but owned by
+/// a compilation session instead of living in globals: every pass and
+/// analysis increments counters through a `StatsRegistry *` it is handed, so
+/// concurrent compilations never share mutable state. Counter names are
+/// dotted `layer.event` strings ("placement.subset-eliminated"); the
+/// registry renders them as an aligned text report or JSON, and supports
+/// snapshot/diff so the pass manager can attribute increments to the pass
+/// that made them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SUPPORT_STATS_H
+#define GCA_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gca {
+
+class StatsRegistry {
+public:
+  /// An ordered name -> value view of the registry at one point in time.
+  using Snapshot = std::map<std::string, int64_t>;
+
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry &) = delete;
+  StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+  /// Adds \p Delta to the counter \p Name (creating it at zero).
+  void add(const std::string &Name, int64_t Delta = 1);
+
+  /// The current value of \p Name; zero when never incremented.
+  int64_t get(const std::string &Name) const;
+
+  /// True when no counter was ever incremented.
+  bool empty() const;
+
+  /// All counters, ordered by name.
+  Snapshot snapshot() const;
+
+  /// The counters that changed since \p Before, as (name, increment) —
+  /// counters never decrease, so every entry is positive.
+  Snapshot diff(const Snapshot &Before) const;
+
+  /// Folds every counter of \p Other into this registry (for aggregating
+  /// per-session registries into a batch-wide report).
+  void merge(const StatsRegistry &Other);
+
+  /// Aligned "  <value> <name>" lines, ordered by name (the format of
+  /// LLVM's -stats output).
+  std::string str() const;
+
+  /// `{"name":value,...}` ordered by name.
+  std::string json() const;
+
+private:
+  mutable std::mutex Mu;
+  Snapshot Counters;
+};
+
+} // namespace gca
+
+#endif // GCA_SUPPORT_STATS_H

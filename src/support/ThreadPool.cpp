@@ -1,0 +1,62 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace gca;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Shutdown = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::async(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+  }
+  WorkCV.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  IdleCV.wait(Lock, [this] { return Queue.empty() && NumActive == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    WorkCV.wait(Lock, [this] { return Shutdown || !Queue.empty(); });
+    if (Queue.empty()) {
+      if (Shutdown)
+        return;
+      continue;
+    }
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    ++NumActive;
+    Lock.unlock();
+    Task();
+    Lock.lock();
+    --NumActive;
+    if (Queue.empty() && NumActive == 0)
+      IdleCV.notify_all();
+  }
+}

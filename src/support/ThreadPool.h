@@ -1,0 +1,63 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool for the batch compilation driver: tasks
+/// are closures over independent compilation sessions, so the pool needs no
+/// futures or result plumbing — callers enqueue work with async() and
+/// rendezvous with wait(). Determinism is the caller's job (sessions share
+/// no mutable state; outputs are ordered by input, not completion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SUPPORT_THREADPOOL_H
+#define GCA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gca {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Waits for all queued work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task; it runs on some worker in FIFO dispatch order.
+  void async(std::function<void()> Task);
+
+  /// Blocks until every task enqueued so far has finished.
+  void wait();
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mu;
+  std::condition_variable WorkCV; ///< Signals workers: work or shutdown.
+  std::condition_variable IdleCV; ///< Signals wait(): queue drained and idle.
+  unsigned NumActive = 0;
+  bool Shutdown = false;
+};
+
+} // namespace gca
+
+#endif // GCA_SUPPORT_THREADPOOL_H

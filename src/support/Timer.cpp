@@ -1,0 +1,114 @@
+//===- support/Timer.cpp - Scoped timers and time reports -----------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <chrono>
+#include <ctime>
+
+using namespace gca;
+
+static double wallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+static double cpuNow() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  timespec TS;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &TS) == 0)
+    return static_cast<double>(TS.tv_sec) + 1e-9 * TS.tv_nsec;
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+const TimeTrace::Node *TimeTrace::Node::child(const std::string &Name) const {
+  for (const auto &C : Children)
+    if (C->Name == Name)
+      return C.get();
+  return nullptr;
+}
+
+void TimeTrace::enter(const std::string &Name) {
+  Node *Parent = Stack.empty() ? &Root : Stack.back().N;
+  Node *N = nullptr;
+  for (auto &C : Parent->Children)
+    if (C->Name == Name) {
+      N = C.get();
+      break;
+    }
+  if (!N) {
+    Parent->Children.push_back(std::make_unique<Node>());
+    N = Parent->Children.back().get();
+    N->Name = Name;
+  }
+  Stack.push_back({N, wallNow(), cpuNow()});
+}
+
+TimeRecord TimeTrace::exit() {
+  assert(!Stack.empty() && "exit() without matching enter()");
+  Open O = Stack.back();
+  Stack.pop_back();
+  TimeRecord Delta;
+  Delta.WallSec = wallNow() - O.WallStart;
+  Delta.CpuSec = cpuNow() - O.CpuStart;
+  Delta.Invocations = 1;
+  O.N->Time += Delta;
+  return Delta;
+}
+
+TimeRecord TimeTrace::total() const {
+  TimeRecord T;
+  for (const auto &C : Root.Children)
+    T += C->Time;
+  return T;
+}
+
+static void reportNode(const TimeTrace::Node &N, int Depth,
+                       std::string &Out) {
+  Out += strFormat("%9.4fs %9.4fs  %*s%s\n", N.Time.WallSec, N.Time.CpuSec,
+                   Depth * 2, "", N.Name.c_str());
+  for (const auto &C : N.Children)
+    reportNode(*C, Depth + 1, Out);
+}
+
+std::string TimeTrace::report() const {
+  std::string Out = "     wall       cpu  region\n";
+  for (const auto &C : Root.Children)
+    reportNode(*C, 0, Out);
+  TimeRecord T = total();
+  Out += strFormat("%9.4fs %9.4fs  total\n", T.WallSec, T.CpuSec);
+  return Out;
+}
+
+static void jsonNode(const TimeTrace::Node &N, std::string &Out) {
+  Out += strFormat("{\"name\":\"%s\",\"wall_s\":%.6f,\"cpu_s\":%.6f,"
+                   "\"invocations\":%lld,\"children\":[",
+                   N.Name.c_str(), N.Time.WallSec, N.Time.CpuSec,
+                   static_cast<long long>(N.Time.Invocations));
+  for (size_t I = 0; I != N.Children.size(); ++I) {
+    if (I)
+      Out += ",";
+    jsonNode(*N.Children[I], Out);
+  }
+  Out += "]}";
+}
+
+std::string TimeTrace::json() const {
+  std::string Out = "[";
+  for (size_t I = 0; I != Root.Children.size(); ++I) {
+    if (I)
+      Out += ",";
+    jsonNode(*Root.Children[I], Out);
+  }
+  Out += "]";
+  return Out;
+}

@@ -6,9 +6,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Diag.h"
+#include "support/Stats.h"
 #include "support/StrUtil.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
 
 using namespace gca;
 
@@ -79,4 +84,135 @@ TEST(SourceLoc, Str) {
   EXPECT_EQ(SourceLoc(12, 3).str(), "12:3");
   EXPECT_TRUE(SourceLoc(1, 1).isValid());
   EXPECT_FALSE(SourceLoc().isValid());
+}
+
+//===----------------------------------------------------------------------===//
+// StatsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, AddGetSnapshot) {
+  StatsRegistry S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.get("x"), 0);
+  S.add("x");
+  S.add("x", 4);
+  S.add("y", 2);
+  EXPECT_EQ(S.get("x"), 5);
+  StatsRegistry::Snapshot Snap = S.snapshot();
+  EXPECT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap.at("y"), 2);
+}
+
+TEST(Stats, DiffReportsOnlyChanges) {
+  StatsRegistry S;
+  S.add("a", 1);
+  StatsRegistry::Snapshot Before = S.snapshot();
+  S.add("a", 2);
+  S.add("b", 7);
+  StatsRegistry::Snapshot D = S.diff(Before);
+  EXPECT_EQ(D.size(), 2u);
+  EXPECT_EQ(D.at("a"), 2);
+  EXPECT_EQ(D.at("b"), 7);
+  EXPECT_TRUE(S.diff(S.snapshot()).empty());
+}
+
+TEST(Stats, MergeAndRender) {
+  StatsRegistry A, B;
+  A.add("n", 1);
+  B.add("n", 2);
+  B.add("m", 3);
+  A.merge(B);
+  EXPECT_EQ(A.get("n"), 3);
+  EXPECT_EQ(A.get("m"), 3);
+  EXPECT_EQ(A.json(), "{\"m\":3,\"n\":3}");
+  EXPECT_NE(A.str().find("3 m\n"), std::string::npos);
+}
+
+TEST(Stats, ConcurrentAddsAreAtomic) {
+  StatsRegistry S;
+  ThreadPool Pool(4);
+  for (int I = 0; I != 64; ++I)
+    Pool.async([&S] { S.add("hits", 10); });
+  Pool.wait();
+  EXPECT_EQ(S.get("hits"), 640);
+}
+
+//===----------------------------------------------------------------------===//
+// TimeTrace
+//===----------------------------------------------------------------------===//
+
+TEST(Timer, NestedRegionsAccumulate) {
+  TimeTrace T;
+  for (int I = 0; I != 2; ++I) {
+    ScopedTimer Outer(T, "outer");
+    ScopedTimer Inner(T, "inner");
+  }
+  const TimeTrace::Node *Outer = T.root().child("outer");
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->Time.Invocations, 2);
+  const TimeTrace::Node *Inner = Outer->child("inner");
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->Time.Invocations, 2);
+  EXPECT_EQ(T.root().child("inner"), nullptr);
+  EXPECT_GE(Outer->Time.WallSec, Inner->Time.WallSec);
+}
+
+TEST(Timer, ExitReturnsDelta) {
+  TimeTrace T;
+  T.enter("r");
+  TimeRecord D = T.exit();
+  EXPECT_EQ(D.Invocations, 1);
+  EXPECT_GE(D.WallSec, 0.0);
+  EXPECT_EQ(T.total().Invocations, 1);
+}
+
+TEST(Timer, ReportAndJsonShapes) {
+  TimeTrace T;
+  {
+    ScopedTimer A(T, "alpha");
+    ScopedTimer B(T, "beta");
+  }
+  std::string Report = T.report();
+  EXPECT_NE(Report.find("alpha"), std::string::npos);
+  EXPECT_NE(Report.find("  beta"), std::string::npos);
+  EXPECT_NE(Report.find("total"), std::string::npos);
+  std::string Json = T.json();
+  EXPECT_EQ(Json.front(), '[');
+  EXPECT_NE(Json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(Json.find("\"children\":[{\"name\":\"beta\""),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  std::atomic<int> Count{0};
+  ThreadPool Pool(8);
+  for (int I = 0; I != 100; ++I)
+    Pool.async([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  std::atomic<int> Count{0};
+  ThreadPool Pool(2);
+  Pool.async([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+  Pool.async([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(3);
+    for (int I = 0; I != 20; ++I)
+      Pool.async([&Count] { ++Count; });
+  }
+  EXPECT_EQ(Count.load(), 20);
 }

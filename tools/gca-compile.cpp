@@ -1,0 +1,249 @@
+//===- tools/gca-compile.cpp - Parallel batch compilation driver ----------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiles many HPF-lite sources through the instrumented pass pipeline
+// (driver/Pipeline.h), optionally in parallel. Each input gets its own
+// Session — no shared mutable state — and outputs are emitted in input
+// order, so a parallel run is bitwise-identical to a serial one (timing
+// reports aside, which is why --verify-determinism compares only the
+// deterministic sections).
+//
+//   $ gca-compile prog.hpf other.hpf        # plans to stdout
+//   $ gca-compile --workloads --jobs 8      # all built-in workloads, 8 ways
+//   $ gca-compile --stats --time-report x.hpf
+//   $ gca-compile --time-report=json --workloads
+//   $ gca-compile --dump-after=scalarize x.hpf
+//   $ gca-compile --workloads --jobs 8 --verify-determinism
+//
+// Exit status: 0 on success, 1 on any compile error, audit violation, or
+// determinism mismatch, 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gca;
+
+namespace {
+
+struct ToolOptions {
+  CompileOptions Compile;
+  unsigned Jobs = 1;
+  bool Stats = false;
+  bool TimeReport = false;
+  bool TimeReportJson = false;
+  bool Workloads = false;
+  bool VerifyDeterminism = false;
+  bool PrintPlans = true;
+};
+
+struct Input {
+  std::string Name;
+  std::string Source;
+};
+
+/// Everything one compilation produced, split into the deterministic part
+/// (compared by --verify-determinism) and the timing part (not compared).
+struct Output {
+  std::string Deterministic;
+  std::string Timing;
+  bool Failed = false;
+};
+
+Output compileOne(const Input &In, const ToolOptions &Opts) {
+  Output Out;
+  Session S(In.Source, Opts.Compile);
+  S.run();
+  CompileResult R = S.take();
+
+  std::string &D = Out.Deterministic;
+  D += "== " + In.Name + " ==\n";
+  if (!R.Ok) {
+    D += R.Errors;
+    Out.Failed = true;
+    return Out;
+  }
+  if (Opts.PrintPlans)
+    for (const RoutineResult &RR : R.Routines)
+      D += RR.Plan.str(*RR.R);
+  for (const auto &[Pass, Dump] : S.Dumps)
+    D += "-- dump after " + Pass + " --\n" + Dump;
+  if (!R.Diagnostics.empty())
+    D += R.Diagnostics;
+  if (Opts.Stats)
+    D += S.Stats.str();
+  if (!R.AuditOk)
+    Out.Failed = true;
+
+  if (Opts.TimeReportJson)
+    Out.Timing = "{\"input\":\"" + In.Name +
+                 "\",\"report\":" + S.timeReportJson() + "}\n";
+  else if (Opts.TimeReport)
+    Out.Timing = "-- time report: " + In.Name + " --\n" + S.timeReport();
+  return Out;
+}
+
+/// Compiles every input with \p Jobs workers; outputs land in input order.
+std::vector<Output> compileAll(const std::vector<Input> &Inputs,
+                               const ToolOptions &Opts, unsigned Jobs) {
+  std::vector<Output> Outputs(Inputs.size());
+  if (Jobs <= 1) {
+    for (size_t I = 0; I != Inputs.size(); ++I)
+      Outputs[I] = compileOne(Inputs[I], Opts);
+    return Outputs;
+  }
+  ThreadPool Pool(Jobs);
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    Pool.async([&Inputs, &Outputs, &Opts, I] {
+      Outputs[I] = compileOne(Inputs[I], Opts);
+    });
+  Pool.wait();
+  return Outputs;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [files.hpf...]\n"
+      "  --workloads            also compile every built-in workload\n"
+      "  --jobs N, -j N         compile N inputs concurrently (default 1)\n"
+      "  --stats                print the counter registry per input\n"
+      "  --time-report[=json]   per-pass timing (and counter) report\n"
+      "  --dump-after=PASS      dump program/plans after PASS (or 'all')\n"
+      "  --strategy=NAME        orig|nored|comb|optimal|earlycomb\n"
+      "  --no-scalarize --fuse --audit --no-audit --lint --no-lint\n"
+      "  --no-plans             suppress plan printing\n"
+      "  -p name=value          override a param declaration\n"
+      "  --verify-determinism   recompile serially and require identical "
+      "output\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ToolOptions Opts;
+  std::vector<Input> Inputs;
+  std::vector<std::string> Paths;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--workloads") {
+      Opts.Workloads = true;
+    } else if (Arg == "--jobs" || Arg == "-j") {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Opts.Jobs =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg == "--time-report") {
+      Opts.TimeReport = true;
+    } else if (Arg == "--time-report=json") {
+      Opts.TimeReportJson = true;
+    } else if (Arg.rfind("--dump-after=", 0) == 0) {
+      Opts.Compile.DumpAfter = Arg.substr(std::strlen("--dump-after="));
+    } else if (Arg.rfind("--strategy=", 0) == 0) {
+      std::string Name = Arg.substr(std::strlen("--strategy="));
+      bool Found = false;
+      for (Strategy S :
+           {Strategy::Orig, Strategy::Earliest, Strategy::Global,
+            Strategy::Optimal, Strategy::EarliestCombine})
+        if (Name == strategyName(S)) {
+          Opts.Compile.Placement.Strat = S;
+          Found = true;
+        }
+      if (!Found) {
+        std::fprintf(stderr, "error: unknown strategy '%s'\n", Name.c_str());
+        return 2;
+      }
+    } else if (Arg == "--no-scalarize") {
+      Opts.Compile.Scalarize = false;
+    } else if (Arg == "--fuse") {
+      Opts.Compile.FuseLoops = true;
+    } else if (Arg == "--audit") {
+      Opts.Compile.Audit = true;
+    } else if (Arg == "--no-audit") {
+      Opts.Compile.Audit = false;
+    } else if (Arg == "--lint") {
+      Opts.Compile.Lint = true;
+    } else if (Arg == "--no-lint") {
+      Opts.Compile.Lint = false;
+    } else if (Arg == "--no-plans") {
+      Opts.PrintPlans = false;
+    } else if (Arg == "--verify-determinism") {
+      Opts.VerifyDeterminism = true;
+    } else if (Arg == "-p") {
+      const char *Eq = I + 1 < argc ? std::strchr(argv[I + 1], '=') : nullptr;
+      if (!Eq)
+        return usage(argv[0]);
+      Opts.Compile.Params[std::string(argv[I + 1], Eq - argv[I + 1])] =
+          std::strtoll(Eq + 1, nullptr, 10);
+      ++I;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Inputs.push_back({Path, SS.str()});
+  }
+  if (Opts.Workloads)
+    for (const Workload *W : allWorkloads())
+      Inputs.push_back({W->Name, W->Source});
+  if (Inputs.empty())
+    return usage(argv[0]);
+
+  std::vector<Output> Outputs = compileAll(Inputs, Opts, Opts.Jobs);
+
+  int Status = 0;
+  for (const Output &O : Outputs) {
+    std::fputs(O.Deterministic.c_str(), stdout);
+    std::fputs(O.Timing.c_str(), stdout);
+    if (O.Failed)
+      Status = 1;
+  }
+
+  if (Opts.VerifyDeterminism) {
+    std::vector<Output> Serial = compileAll(Inputs, Opts, 1);
+    for (size_t I = 0; I != Outputs.size(); ++I)
+      if (Serial[I].Deterministic != Outputs[I].Deterministic) {
+        std::fprintf(stderr,
+                     "error: nondeterministic output for '%s' "
+                     "(--jobs %u vs serial)\n",
+                     Inputs[I].Name.c_str(), Opts.Jobs);
+        Status = 1;
+      }
+    if (Status == 0)
+      std::fprintf(stderr,
+                   "determinism verified: %zu inputs, %u jobs vs serial\n",
+                   Inputs.size(), Opts.Jobs);
+  }
+  return Status;
+}
