@@ -5,7 +5,8 @@
 #   2. ASan/UBSan build + the whole suite;
 #   3. TSan build of the parallel batch driver, verifying that an 8-way
 #      compile of every built-in workload is race-free and bitwise equal to
-#      a serial run.
+#      a serial run, and that the shared result cache is race-free and
+#      single-flight under 8-way duplicated inputs.
 # Usage: scripts/check.sh [extra cmake args...]
 set -euo pipefail
 
@@ -27,5 +28,20 @@ cmake -B build-tsan -S . -DGCA_SANITIZE="thread" "$@"
 cmake --build build-tsan -j "$JOBS" --target gca-compile
 build-tsan/tools/gca-compile --workloads --jobs 8 --stats --audit --lint \
   --verify-determinism > /dev/null
+
+echo "== thread sanitizer run (shared result cache, single-flight) =="
+# Eight copies of the same input race for one cache key: under single-flight
+# exactly one compiles (1 miss) and the other seven replay (7 hits), with
+# every built-in workload compiling concurrently alongside.
+J=examples/jacobi.hpf
+build-tsan/tools/gca-compile --jobs 8 --audit --lint --cache=mem \
+  --cache-stats --workloads "$J" "$J" "$J" "$J" "$J" "$J" "$J" "$J" \
+  > /dev/null 2> build-tsan/cache-stats.txt \
+  || { cat build-tsan/cache-stats.txt; exit 1; }
+grep -q 'hits=7 ' build-tsan/cache-stats.txt || {
+  echo "error: cache single-flight check failed:"
+  cat build-tsan/cache-stats.txt
+  exit 1
+}
 
 echo "== all checks passed =="

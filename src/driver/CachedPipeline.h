@@ -1,0 +1,81 @@
+//===- driver/CachedPipeline.h - Cache-fronted pipeline ---------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the pass pipeline (driver/Pipeline.h) and the
+/// content-addressed result cache (support/ResultCache.h).
+///
+/// Cache-key discipline: the key must capture EVERY input that can change a
+/// compilation's output — the exact source bytes, the full, canonically
+/// normalized CompileOptions (strategy, thresholds, extension toggles, audit
+/// and lint switches, dump-after selector, param overrides sorted by name
+/// and default-filled), the pipeline's pass-list fingerprint, and the tool
+/// version string. Any new pass or option MUST be folded into
+/// optionsFingerprint()/pipelineFingerprint(), or warm replays silently go
+/// stale; tests/test_cache.cpp enumerates option flips to enforce this.
+///
+/// On a hit, CachedPipeline::run replays the stored artifacts into the
+/// Session (diagnostics, plan text, dump-after records, counters) without
+/// executing a single pass; on a miss it runs the pipeline and stores the
+/// harvest. Either way the session renders bitwise-identical output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_DRIVER_CACHEDPIPELINE_H
+#define GCA_DRIVER_CACHEDPIPELINE_H
+
+#include "driver/Pipeline.h"
+#include "support/ResultCache.h"
+
+namespace gca {
+
+/// Version string folded into every cache key: bump whenever any pass
+/// changes behavior without changing its name, so stale on-disk entries
+/// from older builds can never replay.
+extern const char *const kGcaCacheVersion;
+
+/// Canonical text rendering of \p Opts: every field is emitted explicitly
+/// (defaults included) in a fixed order, with param overrides sorted by
+/// name, so semantically identical option sets — however they were built up
+/// — render and hash identically. The non-semantic PlacementOptions::Stats
+/// export pointer is excluded.
+std::string optionsFingerprint(const CompileOptions &Opts);
+
+/// The pipeline's pass list as "pass:<name>" lines, in order.
+std::string pipelineFingerprint(const Pipeline &P);
+
+/// The content-addressed key for compiling \p Source under \p Opts with
+/// \p P: a digest of (version, options fingerprint, pipeline fingerprint,
+/// source bytes).
+CacheKey compileCacheKey(const std::string &Source, const CompileOptions &Opts,
+                         const Pipeline &P = Pipeline::standard());
+
+/// Builds the replayable artifacts of a finished session (the value stored
+/// under its cache key). The session must have run to completion.
+CachedResult harvestSession(Session &S);
+
+/// A pipeline fronted by a result cache.
+class CachedPipeline {
+public:
+  explicit CachedPipeline(ResultCache &Cache,
+                          const Pipeline &P = Pipeline::standard())
+      : Cache(Cache), P(P) {}
+
+  /// Runs \p S to completion: replays a cached result when one exists,
+  /// otherwise runs the pipeline and stores the harvest. Single-flight —
+  /// concurrent sessions with identical keys compute once. \returns true
+  /// on a cache hit (S.Result.FromCache is set accordingly).
+  bool run(Session &S);
+
+private:
+  ResultCache &Cache;
+  const Pipeline &P;
+};
+
+} // namespace gca
+
+#endif // GCA_DRIVER_CACHEDPIPELINE_H

@@ -7,6 +7,7 @@
 
 #include "driver/Compile.h"
 
+#include "driver/CachedPipeline.h"
 #include "driver/Pipeline.h"
 
 using namespace gca;
@@ -16,6 +17,18 @@ const RoutineResult *CompileResult::find(const std::string &Name) const {
     if (R.R->name() == Name)
       return &R;
   return nullptr;
+}
+
+std::string CompileResult::planText() const {
+  std::string Out;
+  if (!PlanTexts.empty() || FromCache) {
+    for (const auto &[Name, Text] : PlanTexts)
+      Out += Text;
+    return Out;
+  }
+  for (const RoutineResult &RR : Routines)
+    Out += RR.Plan.str(*RR.R);
+  return Out;
 }
 
 RoutineResult gca::analyzeRoutine(Routine &R, const PlacementOptions &Opts) {
@@ -30,5 +43,16 @@ CompileResult gca::compileSource(const std::string &Source,
                                  const CompileOptions &Opts) {
   Session S(Source, Opts);
   S.run();
+  return S.take();
+}
+
+CompileResult gca::compileSource(const std::string &Source,
+                                 const CompileOptions &Opts,
+                                 ResultCache *Cache) {
+  if (!Cache)
+    return compileSource(Source, Opts);
+  Session S(Source, Opts);
+  CachedPipeline CP(*Cache);
+  CP.run(S);
   return S.take();
 }

@@ -25,6 +25,8 @@
 
 namespace gca {
 
+class ResultCache;
+
 struct CompileOptions {
   PlacementOptions Placement;
   /// Problem-size overrides for `param` declarations (how benchmarks sweep).
@@ -73,8 +75,22 @@ struct CompileResult {
   std::unique_ptr<Program> Prog;
   std::vector<RoutineResult> Routines;
 
+  /// True when this result was replayed from a ResultCache hit. Replayed
+  /// results carry the rendered artifacts (Diagnostics, PlanTexts, and the
+  /// session's Dumps/Stats) bitwise-identical to a cold run, but not the
+  /// live IR: Prog and Routines are empty.
+  bool FromCache = false;
+  /// (routine name, rendered CommPlan::str text) in routine order. Populated
+  /// whenever the compilation went through a ResultCache (hit or miss), so
+  /// cold and warm runs render plans from the same bytes.
+  std::vector<std::pair<std::string, std::string>> PlanTexts;
+
   /// The result for a routine by name; null when absent.
   const RoutineResult *find(const std::string &Name) const;
+
+  /// The concatenated rendered plans: PlanTexts when present (any
+  /// cache-mediated compilation), otherwise rendered from Routines.
+  std::string planText() const;
 };
 
 /// Parses, scalarizes and analyzes \p Source under \p Opts. A thin wrapper
@@ -82,6 +98,14 @@ struct CompileResult {
 /// directly for timing, counters, or dump-after hooks.
 CompileResult compileSource(const std::string &Source,
                             const CompileOptions &Opts);
+
+/// compileSource through a result cache: on a hit the returned result is
+/// replayed (FromCache set, rendered artifacts only — see
+/// CompileResult::FromCache); on a miss it is a normal compilation whose
+/// artifacts are stored under the content-addressed key. A null \p Cache
+/// behaves exactly like the two-argument overload.
+CompileResult compileSource(const std::string &Source,
+                            const CompileOptions &Opts, ResultCache *Cache);
 
 /// Analyzes one already-built (and already-scalarized) routine.
 RoutineResult analyzeRoutine(Routine &R, const PlacementOptions &Opts);

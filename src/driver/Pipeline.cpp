@@ -9,6 +9,7 @@
 
 #include "analysis/CommLint.h"
 #include "ir/Printer.h"
+#include "support/ResultCache.h"
 #include "support/StrUtil.h"
 #include "xform/Fuse.h"
 #include "xform/Scalarize.h"
@@ -148,10 +149,23 @@ bool Session::run(const Pipeline &P) {
 }
 
 CompileResult Session::take() {
-  if (!Taken && Result.Ok)
+  if (!Taken && Result.Ok && !Replayed)
     Result.Diagnostics = Diags.str();
   Taken = true;
   return std::move(Result);
+}
+
+void Session::replayResult(const CachedResult &R) {
+  Result.Ok = R.Ok;
+  Result.AuditOk = R.AuditOk;
+  Result.Errors = R.Errors;
+  Result.Diagnostics = R.Diagnostics;
+  Result.FromCache = true;
+  Result.PlanTexts = R.Plans;
+  Dumps = R.Dumps;
+  for (const auto &[Name, Value] : R.Counters)
+    Stats.add(Name, Value);
+  Replayed = true;
 }
 
 const CommPlan *Session::origBaseline(size_t RoutineIdx) {

@@ -38,6 +38,7 @@
 namespace gca {
 
 class Session;
+struct CachedResult;
 
 /// One named stage of the pipeline. Fn returns false to abort the run
 /// (a fatal error; the session's Result.Errors is expected to be set).
@@ -93,6 +94,13 @@ public:
   /// already is Orig.
   const CommPlan *origBaseline(size_t RoutineIdx);
 
+  /// Installs a ResultCache hit into this session without running any pass:
+  /// Result gains the cached flags, errors, rendered diagnostics and plan
+  /// texts (FromCache set), Dumps the cached dump-after records, and Stats
+  /// the cached counters — everything a cold run would have produced, minus
+  /// the live IR. Used by CachedPipeline (driver/CachedPipeline.h).
+  void replayResult(const CachedResult &R);
+
   /// Renders the current program (HPF-lite text) and any computed plans;
   /// the payload of dump-after records.
   std::string dump() const;
@@ -124,6 +132,9 @@ public:
 private:
   std::vector<std::unique_ptr<CommPlan>> Baselines;
   bool Taken = false;
+  /// Set by replayResult(): take() must keep the replayed Diagnostics
+  /// instead of re-rendering the (empty) DiagEngine.
+  bool Replayed = false;
 };
 
 } // namespace gca

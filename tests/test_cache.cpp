@@ -1,0 +1,575 @@
+//===- tests/test_cache.cpp - Result-cache differential harness -----------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correctness contract of the result cache is bitwise replay: a warm
+/// compilation must be indistinguishable from a cold one — same plans, same
+/// diagnostics, same dump-after records, same counters. This harness proves
+/// it differentially over every built-in workload under every evaluation
+/// strategy, then attacks the key: flipping any single option or any single
+/// source byte must miss, permuting how semantically identical options were
+/// built up must hit, and corrupt or truncated disk entries must degrade to
+/// misses, never to wrong replays.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CachedPipeline.h"
+#include "support/ResultCache.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace gca;
+
+namespace {
+
+/// Everything observable from one compilation, rendered for comparison.
+struct Observed {
+  bool Ok = false;
+  bool AuditOk = true;
+  std::string Errors;
+  std::string Diagnostics;
+  std::string PlanText;
+  std::vector<std::pair<std::string, std::string>> Dumps;
+  StatsRegistry::Snapshot Counters;
+
+  bool operator==(const Observed &O) const = default;
+};
+
+Observed observe(Session &S) {
+  Observed Out;
+  CompileResult R = S.take();
+  Out.Ok = R.Ok;
+  Out.AuditOk = R.AuditOk;
+  Out.Errors = R.Errors;
+  Out.Diagnostics = R.Diagnostics;
+  Out.PlanText = R.planText();
+  Out.Dumps = S.Dumps;
+  Out.Counters = S.Stats.snapshot();
+  return Out;
+}
+
+CompileOptions fullOptions(Strategy Strat) {
+  CompileOptions Opts;
+  Opts.Placement.Strat = Strat;
+  Opts.Audit = true;
+  Opts.Lint = true;
+  Opts.DumpAfter = "placement";
+  return Opts;
+}
+
+std::string tempCacheDir(const char *Tag) {
+  return (std::filesystem::path(::testing::TempDir()) /
+          (std::string("gca-cache-") + Tag + "-" +
+           std::to_string(::getpid())))
+      .string();
+}
+
+/// The single .gcache file in \p Dir (the tests store exactly one entry).
+std::filesystem::path onlyCacheFile(const std::string &Dir) {
+  std::filesystem::path Found;
+  int Count = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().extension() == ".gcache") {
+      Found = E.path();
+      ++Count;
+    }
+  EXPECT_EQ(Count, 1);
+  return Found;
+}
+
+CachedResult sampleResult() {
+  CachedResult R;
+  R.Ok = true;
+  R.AuditOk = false;
+  R.Errors = "";
+  R.Diagnostics = "warning: something\nnote: with\nnewlines\n";
+  R.Plans = {{"main", "plan text\nwith lines\n"}, {"aux", ""}};
+  R.Dumps = {{"placement", std::string("binary\0bytes\n", 13)}};
+  R.Counters = {{"placement.entries-detected", 7}, {"lint.warnings", 0}};
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential: cold vs. warm over every workload x strategy
+//===----------------------------------------------------------------------===//
+
+class CacheDifferential : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(CacheDifferential, WarmReplayIsBitwiseIdentical) {
+  ResultCache Cache;
+  CachedPipeline CP(Cache);
+  for (const Workload *W : allWorkloads()) {
+    SCOPED_TRACE(W->Name);
+    CompileOptions Opts = fullOptions(GetParam());
+
+    Session Cold(W->Source, Opts);
+    EXPECT_FALSE(CP.run(Cold)) << "first compilation must miss";
+    Observed C = observe(Cold);
+
+    Session Warm(W->Source, Opts);
+    EXPECT_TRUE(CP.run(Warm)) << "second compilation must hit";
+    Observed H = observe(Warm);
+
+    ASSERT_TRUE(C.Ok);
+    EXPECT_EQ(C.Ok, H.Ok);
+    EXPECT_EQ(C.AuditOk, H.AuditOk);
+    EXPECT_EQ(C.Errors, H.Errors);
+    EXPECT_EQ(C.Diagnostics, H.Diagnostics);
+    EXPECT_EQ(C.PlanText, H.PlanText);
+    EXPECT_EQ(C.Dumps, H.Dumps);
+    // The cache keeps its own hit/miss counters outside the session
+    // registry, so session stats compare exactly.
+    EXPECT_EQ(C.Counters, H.Counters);
+  }
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, static_cast<int64_t>(allWorkloads().size()));
+  EXPECT_EQ(S.Hits, static_cast<int64_t>(allWorkloads().size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, CacheDifferential,
+                         ::testing::Values(Strategy::Orig, Strategy::Earliest,
+                                           Strategy::Global,
+                                           Strategy::EarliestCombine),
+                         [](const auto &Info) {
+                           return std::string(strategyName(Info.param));
+                         });
+
+TEST(CacheDifferential, CompileSourceOverloadReplaysDiagnostics) {
+  // A -p override matching no param declaration produces a frontend warning
+  // — the kind of non-error diagnostic a replay must not drop.
+  const Workload &W = figure4Workload();
+  CompileOptions Opts = fullOptions(Strategy::Global);
+  Opts.Params["no_such_param"] = 3;
+
+  ResultCache Cache;
+  CompileResult Cold = compileSource(W.Source, Opts, &Cache);
+  CompileResult Warm = compileSource(W.Source, Opts, &Cache);
+
+  ASSERT_TRUE(Cold.Ok);
+  EXPECT_FALSE(Cold.FromCache);
+  EXPECT_TRUE(Warm.FromCache);
+  EXPECT_FALSE(Cold.Diagnostics.empty());
+  EXPECT_EQ(Cold.Diagnostics, Warm.Diagnostics);
+  EXPECT_EQ(Cold.planText(), Warm.planText());
+  EXPECT_EQ(Cold.AuditOk, Warm.AuditOk);
+
+  // Null cache degrades to the plain overload.
+  CompileResult Plain = compileSource(W.Source, Opts, nullptr);
+  EXPECT_FALSE(Plain.FromCache);
+  EXPECT_EQ(Plain.Diagnostics, Cold.Diagnostics);
+  EXPECT_EQ(Plain.planText(), Cold.planText());
+}
+
+TEST(CacheDifferential, FailedCompilationsReplayTheirErrors) {
+  ResultCache Cache;
+  CompileOptions Opts;
+  std::string Bad = "program broken\nbegin\nthis is not hpf\nend\n";
+  CompileResult Cold = compileSource(Bad, Opts, &Cache);
+  CompileResult Warm = compileSource(Bad, Opts, &Cache);
+  ASSERT_FALSE(Cold.Ok);
+  EXPECT_FALSE(Warm.Ok);
+  EXPECT_TRUE(Warm.FromCache);
+  EXPECT_FALSE(Cold.Errors.empty());
+  EXPECT_EQ(Cold.Errors, Warm.Errors);
+}
+
+//===----------------------------------------------------------------------===//
+// Key sensitivity: any input flip must change the key
+//===----------------------------------------------------------------------===//
+
+TEST(CacheKeyTest, EveryOptionFlipChangesTheKey) {
+  const std::string Src = figure4Workload().Source;
+  CompileOptions Base;
+  CacheKey K0 = compileCacheKey(Src, Base);
+
+  std::vector<std::pair<const char *, CompileOptions>> Flips;
+  auto Add = [&](const char *Name, auto Mutate) {
+    CompileOptions O = Base;
+    Mutate(O);
+    Flips.emplace_back(Name, std::move(O));
+  };
+  Add("strategy", [](auto &O) { O.Placement.Strat = Strategy::Orig; });
+  Add("combine-threshold",
+      [](auto &O) { O.Placement.CombineThresholdBytes += 1; });
+  Add("max-union-growth", [](auto &O) { O.Placement.MaxUnionGrowth += 0.25; });
+  Add("num-procs", [](auto &O) { O.Placement.NumProcs += 1; });
+  Add("subsume-diagonals",
+      [](auto &O) { O.Placement.SubsumeDiagonals = !O.Placement.SubsumeDiagonals; });
+  Add("partial-redundancy",
+      [](auto &O) { O.Placement.PartialRedundancy = !O.Placement.PartialRedundancy; });
+  Add("defer-reductions",
+      [](auto &O) { O.Placement.DeferReductions = !O.Placement.DeferReductions; });
+  Add("scalarize", [](auto &O) { O.Scalarize = !O.Scalarize; });
+  Add("fuse-loops", [](auto &O) { O.FuseLoops = !O.FuseLoops; });
+  Add("audit", [](auto &O) { O.Audit = !O.Audit; });
+  Add("lint", [](auto &O) { O.Lint = !O.Lint; });
+  Add("dump-after", [](auto &O) { O.DumpAfter = "placement"; });
+  Add("param", [](auto &O) { O.Params["n"] = 64; });
+
+  for (const auto &[Name, Opts] : Flips) {
+    SCOPED_TRACE(Name);
+    EXPECT_FALSE(compileCacheKey(Src, Opts) == K0)
+        << "option '" << Name << "' is not folded into the cache key";
+  }
+
+  // A populated cache must MISS under every flipped option set.
+  ResultCache Cache;
+  CachedPipeline CP(Cache);
+  Session Seed(Src, Base);
+  EXPECT_FALSE(CP.run(Seed));
+  for (const auto &[Name, Opts] : Flips) {
+    SCOPED_TRACE(Name);
+    Session S(Src, Opts);
+    EXPECT_FALSE(CP.run(S)) << "flipped option replayed a stale result";
+  }
+}
+
+TEST(CacheKeyTest, EverySourceByteMatters) {
+  CompileOptions Opts;
+  std::string Src = figure4Workload().Source;
+  CacheKey K0 = compileCacheKey(Src, Opts);
+  for (size_t I = 0; I < Src.size(); I += 7) {
+    std::string Mutated = Src;
+    Mutated[I] = Mutated[I] == 'x' ? 'y' : 'x';
+    if (Mutated == Src)
+      continue;
+    EXPECT_FALSE(compileCacheKey(Mutated, Opts) == K0) << "byte " << I;
+  }
+  // Appending and prepending also change it.
+  EXPECT_FALSE(compileCacheKey(Src + " ", Opts) == K0);
+  EXPECT_FALSE(compileCacheKey(" " + Src, Opts) == K0);
+}
+
+TEST(CacheKeyTest, PipelinePassListIsPartOfTheKey) {
+  const std::string Src = figure4Workload().Source;
+  CompileOptions Opts;
+  CacheKey K0 = compileCacheKey(Src, Opts, Pipeline::standard());
+
+  Pipeline Extended;
+  for (const Pass &Stage : Pipeline::standard().passes())
+    Extended.add(Stage.Name, Stage.Fn);
+  Extended.add("extra-pass", [](Session &) { return true; });
+  EXPECT_FALSE(compileCacheKey(Src, Opts, Extended) == K0)
+      << "adding a pass must invalidate cached results";
+}
+
+//===----------------------------------------------------------------------===//
+// Normalization: semantically identical option sets hash equal
+//===----------------------------------------------------------------------===//
+
+TEST(CacheKeyTest, NormalizationIsCanonical) {
+  // Defaults vs. explicitly default-filled fields.
+  CompileOptions Default;
+  CompileOptions Explicit;
+  Explicit.Placement.Strat = Strategy::Global;
+  Explicit.Placement.CombineThresholdBytes = 20 * 1024;
+  Explicit.Placement.MaxUnionGrowth = 1.5;
+  Explicit.Placement.NumProcs = 25;
+  Explicit.Placement.SubsumeDiagonals = true;
+  Explicit.Placement.PartialRedundancy = false;
+  Explicit.Placement.DeferReductions = false;
+  Explicit.Scalarize = Default.Scalarize;
+  Explicit.FuseLoops = Default.FuseLoops;
+  Explicit.Audit = Default.Audit;
+  Explicit.Lint = Default.Lint;
+  Explicit.DumpAfter = "";
+  EXPECT_EQ(optionsFingerprint(Default), optionsFingerprint(Explicit));
+
+  // The non-semantic stats-export pointer is excluded.
+  StatsRegistry Stats;
+  CompileOptions WithStats = Default;
+  WithStats.Placement.Stats = &Stats;
+  EXPECT_EQ(optionsFingerprint(Default), optionsFingerprint(WithStats));
+}
+
+TEST(CacheKeyTest, PermutedParamOrderingsHashEqual) {
+  // Build the same override set in every insertion order (and once with an
+  // overwritten stale value); all renderings must be identical.
+  std::vector<std::pair<std::string, int64_t>> Overrides = {
+      {"n", 128}, {"nsteps", 4}, {"m", 9}};
+  std::vector<int> Perm = {0, 1, 2};
+  std::string Want;
+  do {
+    CompileOptions O;
+    for (int I : Perm)
+      O.Params[Overrides[I].first] = Overrides[I].second;
+    std::string Got = optionsFingerprint(O);
+    if (Want.empty())
+      Want = Got;
+    EXPECT_EQ(Got, Want);
+  } while (std::next_permutation(Perm.begin(), Perm.end()));
+
+  CompileOptions Overwritten;
+  Overwritten.Params["nsteps"] = 999; // Stale; overwritten below.
+  Overwritten.Params["m"] = 9;
+  Overwritten.Params["n"] = 128;
+  Overwritten.Params["nsteps"] = 4;
+  EXPECT_EQ(optionsFingerprint(Overwritten), Want);
+
+  // But a different value — or an extra override — is a different key.
+  CompileOptions Different;
+  Different.Params["n"] = 128;
+  Different.Params["nsteps"] = 5;
+  Different.Params["m"] = 9;
+  EXPECT_NE(optionsFingerprint(Different), Want);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization and the disk tier
+//===----------------------------------------------------------------------===//
+
+TEST(CachedResultTest, SerializeRoundTripsExactly) {
+  CachedResult R = sampleResult();
+  std::string Bytes = R.serialize();
+  std::optional<CachedResult> Back = CachedResult::deserialize(Bytes);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(*Back == R);
+
+  // Empty result round-trips too.
+  CachedResult Empty;
+  Back = CachedResult::deserialize(Empty.serialize());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(*Back == Empty);
+}
+
+TEST(CachedResultTest, TamperedBytesFailClosed) {
+  std::string Bytes = sampleResult().serialize();
+  // Truncations at every length.
+  for (size_t Len = 0; Len < Bytes.size(); Len += 11)
+    EXPECT_FALSE(CachedResult::deserialize(Bytes.substr(0, Len)).has_value())
+        << "truncated to " << Len;
+  // Single-byte flips throughout.
+  for (size_t I = 0; I < Bytes.size(); I += 5) {
+    std::string Mutated = Bytes;
+    Mutated[I] ^= 0x20;
+    if (Mutated == Bytes)
+      continue;
+    EXPECT_FALSE(CachedResult::deserialize(Mutated).has_value())
+        << "flip at " << I;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(CachedResult::deserialize(Bytes + "x").has_value());
+}
+
+TEST(ResultCacheTest, DiskTierSurvivesProcessBoundary) {
+  std::string Dir = tempCacheDir("disk");
+  std::filesystem::remove_all(Dir);
+  CacheKey K = CacheKey::of("some material");
+  CachedResult R = sampleResult();
+  {
+    ResultCache::Config C;
+    C.Dir = Dir;
+    ResultCache Cache(C);
+    Cache.store(K, R);
+  }
+  // A fresh cache (empty memory tier) over the same directory hits disk.
+  ResultCache::Config C;
+  C.Dir = Dir;
+  ResultCache Cache(C);
+  std::atomic<int> Computes{0};
+  CachedResult Got = Cache.getOrCompute(K, [&] {
+    ++Computes;
+    return CachedResult();
+  });
+  EXPECT_EQ(Computes.load(), 0) << "disk entry should satisfy the lookup";
+  EXPECT_TRUE(Got == R);
+  EXPECT_EQ(Cache.stats().DiskHits, 1);
+  std::filesystem::remove_all(Dir);
+}
+
+class CorruptDiskEntry : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CorruptDiskEntry, IsAMissNeverAWrongReplay) {
+  std::string Dir = tempCacheDir(GetParam());
+  std::filesystem::remove_all(Dir);
+  CacheKey K = CacheKey::of("corruptible");
+  {
+    ResultCache::Config C;
+    C.Dir = Dir;
+    ResultCache Cache(C);
+    Cache.store(K, sampleResult());
+  }
+  std::filesystem::path File = onlyCacheFile(Dir);
+  std::string Mode = GetParam();
+  if (Mode == "truncated") {
+    auto Size = std::filesystem::file_size(File);
+    std::filesystem::resize_file(File, Size / 2);
+  } else if (Mode == "empty") {
+    std::ofstream(File, std::ios::trunc).close();
+  } else { // flipped
+    std::fstream F(File, std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(static_cast<std::streamoff>(std::filesystem::file_size(File) / 2));
+    F.put('\xff');
+  }
+
+  ResultCache::Config C;
+  C.Dir = Dir;
+  ResultCache Cache(C);
+  std::atomic<int> Computes{0};
+  CachedResult Fresh;
+  Fresh.Ok = true;
+  Fresh.Diagnostics = "recomputed";
+  bool Hit = true;
+  CachedResult Got = Cache.getOrCompute(K, [&] {
+    ++Computes;
+    return Fresh;
+  }, &Hit);
+  EXPECT_FALSE(Hit);
+  EXPECT_EQ(Computes.load(), 1);
+  EXPECT_TRUE(Got == Fresh);
+  EXPECT_GE(Cache.stats().DiskErrors, 1);
+  // The recompute rewrote the entry; it must now be readable again.
+  ResultCache Cache2(C);
+  EXPECT_TRUE(Cache2.lookup(K).has_value());
+  std::filesystem::remove_all(Dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CorruptDiskEntry,
+                         ::testing::Values("truncated", "empty", "flipped"));
+
+//===----------------------------------------------------------------------===//
+// Memory tier: LRU byte budget
+//===----------------------------------------------------------------------===//
+
+TEST(ResultCacheTest, LruEvictionHonorsByteBudget) {
+  CachedResult Big;
+  Big.Ok = true;
+  Big.Diagnostics.assign(1000, 'd');
+  size_t EntryBytes = Big.byteSize();
+
+  ResultCache::Config C;
+  C.MemBudgetBytes = 3 * EntryBytes + EntryBytes / 2; // Room for three.
+  ResultCache Cache(C);
+
+  std::vector<CacheKey> Keys;
+  for (int I = 0; I != 6; ++I) {
+    Keys.push_back(CacheKey::of("entry " + std::to_string(I)));
+    Cache.store(Keys.back(), Big);
+  }
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 3);
+  EXPECT_EQ(S.Entries, 3);
+  EXPECT_LE(S.Bytes, static_cast<int64_t>(C.MemBudgetBytes));
+  // Oldest three evicted, newest three resident.
+  for (int I = 0; I != 3; ++I)
+    EXPECT_FALSE(Cache.lookup(Keys[I]).has_value()) << I;
+  for (int I = 3; I != 6; ++I)
+    EXPECT_TRUE(Cache.lookup(Keys[I]).has_value()) << I;
+}
+
+TEST(ResultCacheTest, LookupRefreshesRecency) {
+  CachedResult Big;
+  Big.Ok = true;
+  Big.Diagnostics.assign(1000, 'd');
+  size_t EntryBytes = Big.byteSize();
+
+  ResultCache::Config C;
+  C.MemBudgetBytes = 2 * EntryBytes + EntryBytes / 2; // Room for two.
+  ResultCache Cache(C);
+
+  CacheKey A = CacheKey::of("a"), B = CacheKey::of("b"),
+           D = CacheKey::of("d");
+  Cache.store(A, Big);
+  Cache.store(B, Big);
+  EXPECT_TRUE(Cache.lookup(A).has_value()); // A is now most recent.
+  Cache.store(D, Big);                      // Evicts B, not A.
+  EXPECT_TRUE(Cache.lookup(A).has_value());
+  EXPECT_FALSE(Cache.lookup(B).has_value());
+  EXPECT_TRUE(Cache.lookup(D).has_value());
+}
+
+TEST(ResultCacheTest, SingleOversizeEntryStaysResident) {
+  CachedResult Big;
+  Big.Ok = true;
+  Big.Diagnostics.assign(4096, 'd');
+  ResultCache::Config C;
+  C.MemBudgetBytes = 16; // Smaller than any entry.
+  ResultCache Cache(C);
+  CacheKey K = CacheKey::of("oversize");
+  Cache.store(K, Big);
+  // The most recent entry is never evicted, so the cache still functions.
+  EXPECT_TRUE(Cache.lookup(K).has_value());
+  EXPECT_EQ(Cache.stats().Entries, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Single-flight concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(ResultCacheTest, ConcurrentIdenticalRequestsComputeOnce) {
+  ResultCache Cache;
+  CacheKey K = CacheKey::of("contended");
+  std::atomic<int> Computes{0};
+  std::atomic<int> Hits{0};
+
+  ThreadPool Pool(8);
+  for (int I = 0; I != 8; ++I)
+    Pool.async([&] {
+      bool Hit = false;
+      CachedResult R = Cache.getOrCompute(
+          K,
+          [&] {
+            ++Computes;
+            // Widen the race window so every other thread queues behind the
+            // in-flight computation instead of finishing first.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            CachedResult Out;
+            Out.Ok = true;
+            Out.Diagnostics = "computed once";
+            return Out;
+          },
+          &Hit);
+      EXPECT_EQ(R.Diagnostics, "computed once");
+      if (Hit)
+        ++Hits;
+    });
+  Pool.wait();
+
+  EXPECT_EQ(Computes.load(), 1) << "single-flight must dedupe the compute";
+  EXPECT_EQ(Hits.load(), 7);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1);
+  EXPECT_EQ(S.Hits, 7);
+}
+
+TEST(ResultCacheTest, ConcurrentDistinctKeysDoNotSerialize) {
+  ResultCache Cache;
+  std::atomic<int> Computes{0};
+  ThreadPool Pool(8);
+  for (int I = 0; I != 64; ++I)
+    Pool.async([&Cache, &Computes, I] {
+      CacheKey K = CacheKey::of("key " + std::to_string(I % 16));
+      Cache.getOrCompute(K, [&] {
+        ++Computes;
+        CachedResult R;
+        R.Ok = true;
+        R.Diagnostics = std::to_string(I % 16);
+        return R;
+      });
+    });
+  Pool.wait();
+  // Every key computed at least once and never produced a wrong value;
+  // single-flight plus memory hits bound computes by the key count.
+  EXPECT_EQ(Computes.load(), 16);
+  for (int I = 0; I != 16; ++I) {
+    auto R = Cache.lookup(CacheKey::of("key " + std::to_string(I)));
+    ASSERT_TRUE(R.has_value());
+    EXPECT_EQ(R->Diagnostics, std::to_string(I));
+  }
+}

@@ -16,16 +16,24 @@
 ///   (2) the global algorithm never emits more call sites than the
 ///       baselines, and
 ///   (3) the placement-range invariants (Earliest dominates candidates
-///       dominate Latest dominate the use) hold for every entry.
+///       dominate Latest dominate the use) hold for every entry, and
+///   (4) a warm result-cache replay of the compilation is bitwise-identical
+///       to the cold run (the fuzzer doubles as a differential test of
+///       driver/CachedPipeline.h).
 ///
-/// Seeds are fixed, so failures reproduce exactly.
+/// Seeds are fixed, so failures reproduce exactly. The seed range is split
+/// into labeled shards (Shard0..Shard3 instantiations; ctest labels
+/// fuzz-shard0..3) so CI can fan the fuzz tier out across jobs; `ctest -L
+/// fuzz` still runs every shard.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/PlanAudit.h"
+#include "driver/CachedPipeline.h"
 #include "driver/Compile.h"
 #include "lower/Schedule.h"
 #include "runtime/Verify.h"
+#include "support/ResultCache.h"
 #include "support/StrUtil.h"
 
 #include <gtest/gtest.h>
@@ -196,6 +204,45 @@ TEST_P(Fuzz, PipelineSafeAndMonotone) {
       EXPECT_LE(Total, Sites[2]);
     }
   }
+
+  // (4) Result-cache differential: a warm replay of this seed's program
+  // must be bitwise-identical to the cold compilation — same diagnostics,
+  // plan text, audit verdict, and counters. The option rotation above keeps
+  // the key-normalization path under fuzz too.
+  {
+    CompileOptions Opts;
+    Opts.Placement.Strat = Strategy::Global;
+    Opts.Placement.DeferReductions = Seed % 3 == 0;
+    Opts.Placement.PartialRedundancy = Seed % 4 == 0;
+    Opts.FuseLoops = Seed % 5 == 0;
+    Opts.Audit = true;
+    Opts.Lint = Seed % 2 == 0;
+
+    ResultCache Cache;
+    CachedPipeline CP(Cache);
+    Session Cold(Src, Opts);
+    EXPECT_FALSE(CP.run(Cold));
+    Session Warm(Src, Opts);
+    EXPECT_TRUE(CP.run(Warm));
+
+    StatsRegistry::Snapshot ColdStats = Cold.Stats.snapshot();
+    StatsRegistry::Snapshot WarmStats = Warm.Stats.snapshot();
+    CompileResult CR = Cold.take();
+    CompileResult WR = Warm.take();
+    ASSERT_TRUE(CR.Ok) << CR.Errors;
+    EXPECT_TRUE(WR.Ok);
+    EXPECT_TRUE(WR.FromCache);
+    EXPECT_EQ(CR.AuditOk, WR.AuditOk);
+    EXPECT_EQ(CR.Diagnostics, WR.Diagnostics);
+    EXPECT_EQ(CR.planText(), WR.planText());
+    EXPECT_EQ(ColdStats, WarmStats);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(1, 81));
+// The 120 seeds are split into four labeled shards so the fuzz tier can fan
+// out across CI jobs (tests/CMakeLists.txt maps each instantiation to a
+// fuzz-shardN ctest label; -L fuzz matches all of them).
+INSTANTIATE_TEST_SUITE_P(Shard0, Fuzz, ::testing::Range(1, 31));
+INSTANTIATE_TEST_SUITE_P(Shard1, Fuzz, ::testing::Range(31, 61));
+INSTANTIATE_TEST_SUITE_P(Shard2, Fuzz, ::testing::Range(61, 91));
+INSTANTIATE_TEST_SUITE_P(Shard3, Fuzz, ::testing::Range(91, 121));

@@ -18,20 +18,30 @@
 //   $ gca-compile --time-report=json --workloads
 //   $ gca-compile --dump-after=scalarize x.hpf
 //   $ gca-compile --workloads --jobs 8 --verify-determinism
+//   $ gca-compile --workloads --cache=/tmp/gca-cache --cache-stats
+//
+// With --cache, every compilation is keyed on its content (source bytes,
+// normalized options, pass list, tool version) and replayed from the cache
+// on a hit — bitwise-identical plans, diagnostics, dumps and counters, so
+// cached and uncached runs produce the same deterministic output.
 //
 // Exit status: 0 on success, 1 on any compile error, audit violation, or
 // determinism mismatch, 2 on usage errors.
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/CachedPipeline.h"
 #include "driver/Pipeline.h"
+#include "support/StrUtil.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -49,6 +59,13 @@ struct ToolOptions {
   bool Workloads = false;
   bool VerifyDeterminism = false;
   bool PrintPlans = true;
+  /// Cache spec: empty = disabled, "mem" = memory tier only, anything else
+  /// is the disk-tier directory (memory tier in front of it).
+  std::string CacheSpec;
+  bool CacheStats = false;
+  size_t CacheBytes = 64ull << 20;
+  /// Shared across the whole batch (ResultCache is thread-safe).
+  ResultCache *Cache = nullptr;
 };
 
 struct Input {
@@ -66,9 +83,19 @@ struct Output {
 
 Output compileOne(const Input &In, const ToolOptions &Opts) {
   Output Out;
+  auto Start = std::chrono::steady_clock::now();
   Session S(In.Source, Opts.Compile);
-  S.run();
+  bool CacheHit = false;
+  if (Opts.Cache) {
+    CachedPipeline CP(*Opts.Cache);
+    CacheHit = CP.run(S);
+  } else {
+    S.run();
+  }
   CompileResult R = S.take();
+  double WallSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
 
   std::string &D = Out.Deterministic;
   D += "== " + In.Name + " ==\n";
@@ -77,9 +104,10 @@ Output compileOne(const Input &In, const ToolOptions &Opts) {
     Out.Failed = true;
     return Out;
   }
+  // planText() renders replayed and freshly-computed plans from the same
+  // bytes, so cache hits are bitwise-identical to cold runs.
   if (Opts.PrintPlans)
-    for (const RoutineResult &RR : R.Routines)
-      D += RR.Plan.str(*RR.R);
+    D += R.planText();
   for (const auto &[Pass, Dump] : S.Dumps)
     D += "-- dump after " + Pass + " --\n" + Dump;
   if (!R.Diagnostics.empty())
@@ -89,11 +117,19 @@ Output compileOne(const Input &In, const ToolOptions &Opts) {
   if (!R.AuditOk)
     Out.Failed = true;
 
-  if (Opts.TimeReportJson)
-    Out.Timing = "{\"input\":\"" + In.Name +
-                 "\",\"report\":" + S.timeReportJson() + "}\n";
-  else if (Opts.TimeReport)
-    Out.Timing = "-- time report: " + In.Name + " --\n" + S.timeReport();
+  if (Opts.TimeReportJson) {
+    Out.Timing = "{\"input\":\"" + In.Name + "\"";
+    if (Opts.Cache)
+      Out.Timing += strFormat(",\"cache_hit\":%s,\"wall_s\":%.6f",
+                              CacheHit ? "true" : "false", WallSec);
+    Out.Timing += ",\"report\":" + S.timeReportJson() + "}\n";
+  } else if (Opts.TimeReport) {
+    Out.Timing = "-- time report: " + In.Name + " --\n";
+    if (Opts.Cache)
+      Out.Timing += strFormat("  cache %s, %.6f s wall\n",
+                              CacheHit ? "hit" : "miss", WallSec);
+    Out.Timing += S.timeReport();
+  }
   return Out;
 }
 
@@ -129,7 +165,14 @@ int usage(const char *Argv0) {
       "  --no-plans             suppress plan printing\n"
       "  -p name=value          override a param declaration\n"
       "  --verify-determinism   recompile serially and require identical "
-      "output\n",
+      "output\n"
+      "  --cache[=DIR|mem]      replay identical compilations from a "
+      "content-addressed\n"
+      "                         cache (DIR adds a disk tier; default mem)\n"
+      "  --no-cache             disable a previously-given --cache\n"
+      "  --cache-bytes=N        memory-tier LRU byte budget (default 64 MiB)"
+      "\n"
+      "  --cache-stats          print cache hit/miss counters to stderr\n",
       Argv0);
   return 2;
 }
@@ -188,6 +231,20 @@ int main(int argc, char **argv) {
       Opts.Compile.Lint = false;
     } else if (Arg == "--no-plans") {
       Opts.PrintPlans = false;
+    } else if (Arg == "--cache") {
+      Opts.CacheSpec = "mem";
+    } else if (Arg.rfind("--cache=", 0) == 0) {
+      Opts.CacheSpec = Arg.substr(std::strlen("--cache="));
+      if (Opts.CacheSpec.empty())
+        return usage(argv[0]);
+    } else if (Arg == "--no-cache") {
+      Opts.CacheSpec.clear();
+    } else if (Arg.rfind("--cache-bytes=", 0) == 0) {
+      Opts.CacheBytes = static_cast<size_t>(
+          std::strtoull(Arg.c_str() + std::strlen("--cache-bytes="), nullptr,
+                        10));
+    } else if (Arg == "--cache-stats") {
+      Opts.CacheStats = true;
     } else if (Arg == "--verify-determinism") {
       Opts.VerifyDeterminism = true;
     } else if (Arg == "-p") {
@@ -220,6 +277,16 @@ int main(int argc, char **argv) {
   if (Inputs.empty())
     return usage(argv[0]);
 
+  std::unique_ptr<ResultCache> Cache;
+  if (!Opts.CacheSpec.empty()) {
+    ResultCache::Config C;
+    C.MemBudgetBytes = Opts.CacheBytes;
+    if (Opts.CacheSpec != "mem")
+      C.Dir = Opts.CacheSpec;
+    Cache = std::make_unique<ResultCache>(std::move(C));
+    Opts.Cache = Cache.get();
+  }
+
   std::vector<Output> Outputs = compileAll(Inputs, Opts, Opts.Jobs);
 
   int Status = 0;
@@ -229,6 +296,10 @@ int main(int argc, char **argv) {
     if (O.Failed)
       Status = 1;
   }
+  if (Cache && Opts.TimeReportJson)
+    std::fprintf(stdout, "{\"cache\":%s}\n", Cache->stats().json().c_str());
+  if (Cache && Opts.CacheStats)
+    std::fprintf(stderr, "%s\n", Cache->stats().str().c_str());
 
   if (Opts.VerifyDeterminism) {
     std::vector<Output> Serial = compileAll(Inputs, Opts, 1);
