@@ -14,11 +14,17 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compile.h"
+#include "support/Json.h"
+#include "support/ResultCache.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 #include "xform/Scalarize.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 using namespace gca;
 
@@ -112,4 +118,93 @@ BENCHMARK(BM_ParallelBatch)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+//===----------------------------------------------------------------------===//
+// Results file: BENCH_compile.json
+//===----------------------------------------------------------------------===//
+//
+// After the google-benchmark run, one direct measurement sweep renders a
+// machine-readable results file through the MetricsSnapshot exporter:
+// per-workload wall time, cold/warm cache hit ratio, and the parallel batch
+// wall time at 1/2/4/8 jobs.
+
+namespace {
+
+int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void writeResultsFile(const char *Path) {
+  MetricsSnapshot Snap;
+  Histogram Wall;
+  std::vector<const Workload *> Ws = allWorkloads();
+
+  // Per-workload wall time (serial, uncached).
+  for (const Workload *W : Ws) {
+    int64_t T0 = nowNs();
+    CompileOptions Opts;
+    CompileResult R = compileSource(W->Source, Opts);
+    benchmark::DoNotOptimize(&R);
+    int64_t Ns = nowNs() - T0;
+    Snap.Counters["workload." + W->Name + ".wall_ns"] = Ns;
+    Wall.record(Ns);
+  }
+  Snap.addHistogram("compile.wall_ns", Wall);
+
+  // Cache hit ratio: a cold pass populates, a warm pass must replay.
+  {
+    ResultCache Cache{ResultCache::Config()};
+    CompileOptions Opts;
+    for (int Round = 0; Round != 2; ++Round)
+      for (const Workload *W : Ws) {
+        CompileResult R = compileSource(W->Source, Opts, &Cache);
+        benchmark::DoNotOptimize(&R);
+      }
+    CacheStats CS = Cache.stats();
+    Snap.Counters["cache.hits"] = CS.Hits;
+    Snap.Counters["cache.misses"] = CS.Misses;
+    Snap.Counters["cache.hit-ratio-pct"] =
+        CS.Hits + CS.Misses
+            ? 100 * CS.Hits / (CS.Hits + CS.Misses)
+            : 0;
+  }
+
+  // Jobs sweep: whole-suite batch wall time at 1/2/4/8 workers.
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    int64_t T0 = nowNs();
+    {
+      ThreadPool Pool(Jobs);
+      for (const Workload *W : Ws)
+        Pool.async([W] {
+          CompileOptions Opts;
+          CompileResult R = compileSource(W->Source, Opts);
+          benchmark::DoNotOptimize(&R);
+        });
+      Pool.wait();
+    }
+    Snap.Counters["sweep.jobs" + std::to_string(Jobs) + ".wall_ns"] =
+        nowNs() - T0;
+  }
+
+  std::string Doc = Snap.json() + "\n";
+  if (FILE *F = std::fopen(Path, "w")) {
+    std::fputs(Doc.c_str(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", Path);
+  } else {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeResultsFile("BENCH_compile.json");
+  return 0;
+}

@@ -5,8 +5,10 @@
 #   2. ASan/UBSan build + the whole suite;
 #   3. TSan build of the parallel batch driver, verifying that an 8-way
 #      compile of every built-in workload is race-free and bitwise equal to
-#      a serial run, and that the shared result cache is race-free and
-#      single-flight under 8-way duplicated inputs.
+#      a serial run, that the shared result cache is race-free and
+#      single-flight under 8-way duplicated inputs, and that the trace
+#      collector's lock-free per-thread lanes are race-free under an 8-way
+#      traced batch compile.
 # Usage: scripts/check.sh [extra cmake args...]
 set -euo pipefail
 
@@ -43,5 +45,14 @@ grep -q 'hits=7 ' build-tsan/cache-stats.txt || {
   cat build-tsan/cache-stats.txt
   exit 1
 }
+
+echo "== thread sanitizer run (traced batch compile) =="
+# Every worker emits spans/instants into its own trace lane while the main
+# thread runs the driver; the exported trace must be valid and complete.
+build-tsan/tools/gca-compile --workloads --jobs 8 --cache=mem \
+  --trace=build-tsan/trace.json --metrics=build-tsan/metrics.json \
+  --histogram "$J" > /dev/null
+python3 scripts/validate_trace.py build-tsan/trace.json \
+  --min-worker-lanes 8 --expect-decisions
 
 echo "== all checks passed =="

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validates a gca-compile --trace output file.
+
+Checks that the file is well-formed Chrome trace-event JSON, that worker
+lanes are present and named, that every lane's B/E span events balance (no
+cross-thread interleaving corruption), and that the expected pass spans and
+placement decision events are present.
+
+usage: validate_trace.py TRACE.json [--min-worker-lanes N] [--expect-decisions]
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_PASSES = {"parse", "scalarize", "fuse", "build-context", "placement"}
+
+
+def fail(msg):
+    print("validate_trace: FAIL: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-worker-lanes", type=int, default=0,
+                    help="require at least N lanes named worker-*")
+    ap.add_argument("--expect-decisions", action="store_true",
+                    help="require placement decision events")
+    args = ap.parse_args()
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+
+    if "traceEvents" not in doc:
+        fail("no traceEvents array")
+    events = doc["traceEvents"]
+    if not events:
+        fail("empty trace")
+
+    lane_names = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            lane_names[e["tid"]] = e["args"]["name"]
+
+    workers = [n for n in lane_names.values() if n.startswith("worker-")]
+    if len(workers) < args.min_worker_lanes:
+        fail("expected >= %d worker lanes, found %d (%s)"
+             % (args.min_worker_lanes, len(workers), sorted(workers)))
+
+    # Per-lane span balance: B and E must nest properly within each tid.
+    depth = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("B", "E"):
+            continue
+        tid = e["tid"]
+        depth[tid] = depth.get(tid, 0) + (1 if ph == "B" else -1)
+        if depth[tid] < 0:
+            fail("lane %s closes a span it never opened" % tid)
+    open_lanes = {t: d for t, d in depth.items() if d}
+    if open_lanes:
+        fail("unbalanced spans on lanes %s" % sorted(open_lanes))
+
+    names = {e["name"] for e in events if "name" in e}
+    missing = EXPECTED_PASSES - names
+    if missing:
+        fail("missing pass spans: %s" % sorted(missing))
+
+    decisions = [e for e in events if e.get("cat") == "decision"]
+    if args.expect_decisions and not decisions:
+        fail("no placement decision events")
+
+    print("validate_trace: OK: %d events, %d lanes (%d workers), "
+          "%d decision events"
+          % (len(events), len(lane_names), len(workers), len(decisions)))
+
+
+if __name__ == "__main__":
+    main()

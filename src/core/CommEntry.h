@@ -91,6 +91,41 @@ struct CommGroup {
   std::vector<std::vector<std::array<int64_t, 2>>> DataAug;
 };
 
+/// What happened to one communication entry (or slot, or group) at one step
+/// of the placement algorithm. The ordered log of these events is the
+/// explanation of a plan: every entry's path from detection through the
+/// elimination phases to its final placement point is recorded, in the
+/// deterministic order the algorithm took its decisions.
+enum class DecisionKind : uint8_t {
+  Detected,              ///< Entry created by detection (Sections 2.2, 4.1).
+  RangeComputed,         ///< Earliest/Latest range + candidates (4.2-4.4).
+  SubsetSlotCleared,     ///< A slot emptied by subset elimination (4.5).
+  RedundancyEliminated,  ///< Entry folded into a subsumer (4.6, Fig. 9(f)).
+  PartiallyReduced,      ///< Remainder-only send ([14]; PartialRedundancy).
+  CombinedIntoGroup,     ///< Entry admitted to a group (4.7, Fig. 9(g)).
+  GroupPlaced,           ///< Group's final latest-common position (4.7).
+};
+
+const char *decisionKindName(DecisionKind K);
+
+/// One record of the placement decision log.
+struct DecisionEvent {
+  DecisionKind Kind;
+  /// The entry decided about; -1 for slot- and group-scoped events.
+  int EntryId = -1;
+  /// The other party: subsumer entry id (RedundancyEliminated,
+  /// PartiallyReduced), group id (CombinedIntoGroup, GroupPlaced); -1 when
+  /// not applicable.
+  int OtherId = -1;
+  /// The slot involved (cleared slot, chosen placement); invalid when n/a.
+  Slot Where;
+  /// Human-readable specifics ("kind=NNC array=a refs=2", "covered by
+  /// (B4,0)"), stable across runs.
+  std::string Detail;
+};
+
+using DecisionLog = std::vector<DecisionEvent>;
+
 /// Placement strategies evaluated by the paper (Section 5) plus the
 /// exhaustive reference placer used for the Section 6.1 ablation.
 enum class Strategy : uint8_t {
@@ -158,8 +193,15 @@ struct CommPlan {
   std::vector<CommEntry> Entries;
   std::vector<CommGroup> Groups;
   CommStats Stats;
+  /// Why the plan looks the way it does: every detection, range, elimination,
+  /// combining and final-placement decision, in algorithm order. Appended by
+  /// Detect and the Placer; deterministic for a given (routine, options).
+  DecisionLog Decisions;
 
   std::string str(const Routine &R) const;
+
+  /// One "  <kind> entry=<id> ... <detail>" line per decision event.
+  std::string decisionsStr() const;
 };
 
 } // namespace gca

@@ -7,6 +7,8 @@
 
 #include "core/Detect.h"
 
+#include "support/StrUtil.h"
+
 #include <cassert>
 #include <cstdlib>
 
@@ -119,14 +121,26 @@ namespace {
 
 class Detector {
 public:
-  Detector(const AnalysisContext &Ctx, const PlacementOptions &Opts)
-      : Ctx(Ctx), Opts(Opts) {}
+  Detector(const AnalysisContext &Ctx, const PlacementOptions &Opts,
+           DecisionLog *Decisions)
+      : Ctx(Ctx), Opts(Opts), Decisions(Decisions) {}
 
   std::vector<CommEntry> run() {
     Ctx.R.forEachStmt([&](Stmt *S) {
       if (auto *A = dyn_cast<AssignStmt>(S))
         visitAssign(A);
     });
+    if (Decisions)
+      for (const CommEntry &E : Entries) {
+        std::string Detail = strFormat(
+            "kind=%s array=%s refs=%d", commKindName(E.M.Kind),
+            Ctx.R.array(E.ArrayId).Name.c_str(),
+            static_cast<int>(E.Refs.size()));
+        if (!E.DiagIds.empty())
+          Detail += strFormat(" diag=%d", E.DiagIds.front());
+        Decisions->push_back(
+            {DecisionKind::Detected, E.Id, -1, Slot(), std::move(Detail)});
+      }
     return std::move(Entries);
   }
 
@@ -241,6 +255,7 @@ private:
 
   const AnalysisContext &Ctx;
   const PlacementOptions &Opts;
+  DecisionLog *Decisions;
   std::vector<CommEntry> Entries;
   int NextDiagId = 0;
 };
@@ -249,8 +264,9 @@ private:
 
 std::vector<CommEntry>
 gca::detectCommunication(const AnalysisContext &Ctx,
-                         const PlacementOptions &Opts) {
-  return Detector(Ctx, Opts).run();
+                         const PlacementOptions &Opts,
+                         DecisionLog *Decisions) {
+  return Detector(Ctx, Opts, Decisions).run();
 }
 
 Asd gca::asdOfEntry(const AnalysisContext &Ctx, const CommEntry &E,

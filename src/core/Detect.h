@@ -24,9 +24,13 @@
 namespace gca {
 
 /// Produces the initial communication entries of the routine, in statement
-/// order. Entry ids are dense.
+/// order. Entry ids are dense. When \p Decisions is non-null, one
+/// DecisionKind::Detected event is appended per entry (after diagonal
+/// decomposition and coalescing), recording its kind, array, reference
+/// count, and any diagonal-phase linkage.
 std::vector<CommEntry> detectCommunication(const AnalysisContext &Ctx,
-                                           const PlacementOptions &Opts);
+                                           const PlacementOptions &Opts,
+                                           DecisionLog *Decisions = nullptr);
 
 /// The descriptor (array section + mapping) entry \p E communicates when
 /// placed at nesting level \p Level: the union of its references' sections

@@ -37,6 +37,56 @@ const char *gca::strategyName(Strategy S) {
   return "?";
 }
 
+const char *gca::decisionKindName(DecisionKind K) {
+  switch (K) {
+  case DecisionKind::Detected:
+    return "detected";
+  case DecisionKind::RangeComputed:
+    return "range-computed";
+  case DecisionKind::SubsetSlotCleared:
+    return "subset-slot-cleared";
+  case DecisionKind::RedundancyEliminated:
+    return "redundancy-eliminated";
+  case DecisionKind::PartiallyReduced:
+    return "partially-reduced";
+  case DecisionKind::CombinedIntoGroup:
+    return "combined-into-group";
+  case DecisionKind::GroupPlaced:
+    return "group-placed";
+  }
+  return "?";
+}
+
+/// "(B4,1)" rendering shared by decision details.
+static std::string slotStr(const Slot &S) {
+  if (!S.isValid())
+    return "(-)";
+  return strFormat("(B%d,%d)", S.Node, S.Index);
+}
+
+std::string CommPlan::decisionsStr() const {
+  std::string Out;
+  for (const DecisionEvent &E : Decisions) {
+    Out += strFormat("  %-21s", decisionKindName(E.Kind));
+    if (E.EntryId >= 0)
+      Out += strFormat(" entry=%d", E.EntryId);
+    if (E.OtherId >= 0)
+      Out += strFormat(
+          " %s=%d",
+          E.Kind == DecisionKind::CombinedIntoGroup ||
+                  E.Kind == DecisionKind::GroupPlaced
+              ? "group"
+              : "subsumer",
+          E.OtherId);
+    if (E.Where.isValid())
+      Out += " @" + slotStr(E.Where);
+    if (!E.Detail.empty())
+      Out += " " + E.Detail;
+    Out += "\n";
+  }
+  return Out;
+}
+
 int CommStats::totalGroups() const {
   int N = 0;
   for (int K : NumGroups)
@@ -116,9 +166,16 @@ public:
   CommPlan run() {
     CommPlan Plan;
     Plan.Strat = Opts.Strat;
-    Plan.Entries = detectCommunication(Ctx, Opts);
-    for (CommEntry &E : Plan.Entries)
+    Plan.Entries = detectCommunication(Ctx, Opts, &Plan.Decisions);
+    for (CommEntry &E : Plan.Entries) {
       analyzeEntryPlacement(Ctx, E, Opts);
+      Plan.Decisions.push_back(
+          {DecisionKind::RangeComputed, E.Id, -1, E.EarliestSlot,
+           strFormat("earliest=%s latest=%s candidates=%d level=%d",
+                     slotStr(E.EarliestSlot).c_str(),
+                     slotStr(E.LatestSlot).c_str(),
+                     static_cast<int>(E.Candidates.size()), E.CommLevel)});
+    }
 
     switch (Opts.Strat) {
     case Strategy::Orig:
@@ -266,6 +323,10 @@ private:
           if (canJoinGroup(G, Plan.Entries, E, S)) {
             G.Members.push_back(Id);
             E.GroupId = GId;
+            Plan.Decisions.push_back(
+                {DecisionKind::CombinedIntoGroup, Id, GId, S,
+                 strFormat("members=%d",
+                           static_cast<int>(G.Members.size()))});
             Joined = true;
             break;
           }
@@ -279,6 +340,8 @@ private:
         G.M = E.M;
         G.Members = {Id};
         E.GroupId = G.Id;
+        Plan.Decisions.push_back(
+            {DecisionKind::CombinedIntoGroup, Id, G.Id, S, "opened group"});
         Plan.Groups.push_back(std::move(G));
         GroupsHere.push_back(Plan.Groups.back().Id);
       }
@@ -297,6 +360,9 @@ private:
         int GId = Plan.Entries[Leader].GroupId;
         Plan.Groups[GId].Attached.push_back(E.Id);
         E.GroupId = GId;
+        Plan.Decisions.push_back({DecisionKind::CombinedIntoGroup, E.Id, GId,
+                                  Plan.Groups[GId].Placement,
+                                  "attached via subsumer"});
       }
     }
   }
@@ -368,6 +434,13 @@ private:
       // widen the union to include them.
       for (int Id : G.Attached)
         addAsd(Plan.Entries[Id]);
+      Plan.Decisions.push_back(
+          {DecisionKind::GroupPlaced, -1, G.Id, G.Placement,
+           strFormat("kind=%s members=%d attached=%d data=%d",
+                     commKindName(G.Kind),
+                     static_cast<int>(G.Members.size()),
+                     static_cast<int>(G.Attached.size()),
+                     static_cast<int>(G.Data.size()))});
     }
   }
 
@@ -495,6 +568,9 @@ private:
             continue;
           C1.Eliminated = true;
           C1.SubsumedBy = C2.Id;
+          Plan.Decisions.push_back(
+              {DecisionKind::RedundancyEliminated, C1.Id, C2.Id, C1.Chosen,
+               "covered by dominating communication"});
           Progress = true;
           break;
         }
@@ -559,8 +635,12 @@ private:
             continue;
           const RegSection &Cur = C2.ReducedD ? *C2.ReducedD : A2.D;
           RegSection Rem;
-          if (Cur.difference(A1.D, Rem))
+          if (Cur.difference(A1.D, Rem)) {
             C2.ReducedD = std::move(Rem);
+            Plan.Decisions.push_back(
+                {DecisionKind::PartiallyReduced, C2.Id, C1.Id, C2.Chosen,
+                 "remainder-only send"});
+          }
         }
       }
     }
@@ -599,6 +679,11 @@ private:
             auto &Cand = Plan.Entries[Id].Candidates;
             Cand.erase(std::remove(Cand.begin(), Cand.end(), S1), Cand.end());
           }
+          Plan.Decisions.push_back(
+              {DecisionKind::SubsetSlotCleared, -1, -1, S1,
+               strFormat("covered by %s; %d entries affected",
+                         slotStr(S2).c_str(),
+                         static_cast<int>(Set1.size()))});
           Set1.clear();
           ++SlotsCleared;
           Progress = true;
@@ -658,6 +743,9 @@ private:
             if (Cand.empty()) {
               C1.Eliminated = true;
               C1.SubsumedBy = I2;
+              Plan.Decisions.push_back(
+                  {DecisionKind::RedundancyEliminated, I1, I2, S,
+                   "descriptor subsumed at common slot"});
               // The subsumer must be placeable inside the victim's safe
               // range: restrict it (S itself is always common).
               restrictTo(C2, C1.OriginalCandidates);

@@ -8,6 +8,7 @@
 #include "driver/CachedPipeline.h"
 
 #include "support/StrUtil.h"
+#include "support/Trace.h"
 
 using namespace gca;
 
@@ -75,6 +76,13 @@ CachedResult gca::harvestSession(Session &S) {
 
 bool CachedPipeline::run(Session &S) {
   CacheKey K = compileCacheKey(S.Source, S.Opts, P);
+  {
+    // Stamp the cache key on the compile so a trace links every span of
+    // this compilation to its cache entry.
+    TraceCollector &C = TraceCollector::instance();
+    if (C.enabled())
+      C.instant("cache-key", "cache", {{"key", K.hex()}});
+  }
   bool Hit = false;
   CachedResult R = Cache.getOrCompute(
       K,

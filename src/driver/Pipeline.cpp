@@ -9,8 +9,10 @@
 
 #include "analysis/CommLint.h"
 #include "ir/Printer.h"
+#include "support/Json.h"
 #include "support/ResultCache.h"
 #include "support/StrUtil.h"
+#include "support/Trace.h"
 #include "xform/Fuse.h"
 #include "xform/Scalarize.h"
 
@@ -60,12 +62,35 @@ static bool passBuildContext(Session &S) {
   return true;
 }
 
+/// Forwards a routine's placement decision log to the trace as instant
+/// events (category "decision"), one per DecisionEvent, in algorithm order.
+static void traceDecisions(const std::string &Routine, const CommPlan &Plan) {
+  TraceCollector &C = TraceCollector::instance();
+  if (!C.enabled())
+    return;
+  for (const DecisionEvent &E : Plan.Decisions) {
+    std::vector<TraceArg> Args;
+    Args.emplace_back("routine", Routine);
+    if (E.EntryId >= 0)
+      Args.emplace_back("entry", E.EntryId);
+    if (E.OtherId >= 0)
+      Args.emplace_back("other", E.OtherId);
+    if (E.Where.isValid())
+      Args.emplace_back("slot",
+                        strFormat("(B%d,%d)", E.Where.Node, E.Where.Index));
+    if (!E.Detail.empty())
+      Args.emplace_back("detail", E.Detail);
+    C.instant(decisionKindName(E.Kind), "decision", std::move(Args));
+  }
+}
+
 static bool passPlacement(Session &S) {
   PlacementOptions POpts = S.Opts.Placement;
   POpts.Stats = &S.Stats;
   for (RoutineResult &RR : S.Result.Routines) {
     ScopedTimer T(S.Times, RR.R->name());
     RR.Plan = planCommunication(*RR.Ctx, POpts);
+    traceDecisions(RR.R->name(), RR.Plan);
   }
   return true;
 }
@@ -199,24 +224,21 @@ std::string Session::dump() const {
 }
 
 std::string Session::timeReportJson() const {
-  std::string Out = "{\"passes\":[";
-  for (size_t I = 0; I != Passes.size(); ++I) {
-    const PassRecord &P = Passes[I];
-    if (I)
-      Out += ",";
-    Out += strFormat("{\"name\":\"%s\",\"wall_s\":%.6f,\"cpu_s\":%.6f,"
-                     "\"counters\":{",
-                     P.Name.c_str(), P.Time.WallSec, P.Time.CpuSec);
-    bool First = true;
-    for (const auto &[Name, Value] : P.Counters) {
-      if (!First)
-        Out += ",";
-      First = false;
-      Out += strFormat("\"%s\":%lld", Name.c_str(),
-                       static_cast<long long>(Value));
-    }
-    Out += "}}";
+  JsonWriter W;
+  W.beginObject().key("passes").beginArray();
+  for (const PassRecord &P : Passes) {
+    W.beginObject();
+    W.key("name").value(P.Name);
+    W.key("wall_s").value(P.Time.WallSec);
+    W.key("cpu_s").value(P.Time.CpuSec);
+    W.key("counters").beginObject();
+    for (const auto &[Name, Value] : P.Counters)
+      W.key(Name).value(Value);
+    W.endObject();
+    W.endObject();
   }
-  Out += "],\"regions\":" + Times.json() + "}";
-  return Out;
+  W.endArray();
+  W.key("regions").raw(Times.json());
+  W.endObject();
+  return W.str();
 }

@@ -1,0 +1,103 @@
+//===- support/Json.cpp - Streaming JSON writer ---------------------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/StrUtil.h"
+
+using namespace gca;
+
+void JsonWriter::separate() {
+  if (AfterKey) {
+    AfterKey = false;
+    return;
+  }
+  if (!FirstInScope.back())
+    Out += ",";
+  FirstInScope.back() = false;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  separate();
+  Out += "{";
+  FirstInScope.push_back(true);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  Out += "}";
+  FirstInScope.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  separate();
+  Out += "[";
+  FirstInScope.push_back(true);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  Out += "]";
+  FirstInScope.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &K) {
+  if (!FirstInScope.back())
+    Out += ",";
+  FirstInScope.back() = false;
+  Out += "\"" + jsonEscape(K) + "\":";
+  AfterKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &S) {
+  separate();
+  Out += "\"" + jsonEscape(S) + "\"";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const char *S) {
+  return value(std::string(S));
+}
+
+JsonWriter &JsonWriter::value(int64_t N) {
+  separate();
+  Out += strFormat("%lld", static_cast<long long>(N));
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t N) {
+  separate();
+  Out += strFormat("%llu", static_cast<unsigned long long>(N));
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool B) {
+  separate();
+  Out += B ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double D, int Precision) {
+  separate();
+  Out += strFormat("%.*f", Precision, D);
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  separate();
+  Out += "null";
+  return *this;
+}
+
+JsonWriter &JsonWriter::raw(const std::string &Json) {
+  separate();
+  Out += Json;
+  return *this;
+}

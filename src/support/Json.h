@@ -1,0 +1,69 @@
+//===- support/Json.h - Streaming JSON writer -------------------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer shared by every JSON producer in the tree
+/// (trace exporter, metrics snapshots, time reports, cache-stats trailers).
+/// It handles commas, nesting, and string escaping so no call site ever
+/// splices user-controlled text into a JSON literal by hand — the bug class
+/// this type exists to retire. Output is canonical-compact: no whitespace,
+/// keys emitted in call order, doubles printed with a fixed caller-chosen
+/// precision so equal inputs always render equal bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SUPPORT_JSON_H
+#define GCA_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gca {
+
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object key (escaped); the next value/begin* call attaches to
+  /// it. Must only be called directly inside an object.
+  JsonWriter &key(const std::string &K);
+
+  JsonWriter &value(const std::string &S);
+  JsonWriter &value(const char *S);
+  JsonWriter &value(int64_t N);
+  JsonWriter &value(uint64_t N);
+  JsonWriter &value(int N) { return value(static_cast<int64_t>(N)); }
+  JsonWriter &value(bool B);
+  /// Fixed-point double with \p Precision digits after the point (printf
+  /// %.*f), matching the repo's historical %.6f timing fields.
+  JsonWriter &value(double D, int Precision = 6);
+  JsonWriter &null();
+
+  /// Splices \p Json verbatim as one value. The caller guarantees it is a
+  /// complete, valid JSON value (used to embed sub-reports that already
+  /// render themselves).
+  JsonWriter &raw(const std::string &Json);
+
+  /// The document so far. Valid JSON once every begin* has been closed.
+  const std::string &str() const { return Out; }
+
+private:
+  void separate();
+
+  std::string Out;
+  /// One entry per open container: true until the first element lands.
+  std::vector<bool> FirstInScope{true};
+  bool AfterKey = false;
+};
+
+} // namespace gca
+
+#endif // GCA_SUPPORT_JSON_H

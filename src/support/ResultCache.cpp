@@ -7,7 +7,9 @@
 
 #include "support/ResultCache.h"
 
+#include "support/Json.h"
 #include "support/StrUtil.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <cstdio>
@@ -241,16 +243,42 @@ std::string CacheStats::str() const {
 }
 
 std::string CacheStats::json() const {
-  return strFormat("{\"hits\":%lld,\"misses\":%lld,\"evictions\":%lld,"
-                   "\"bytes\":%lld,\"entries\":%lld,\"disk_hits\":%lld,"
-                   "\"disk_errors\":%lld}",
-                   static_cast<long long>(Hits),
-                   static_cast<long long>(Misses),
-                   static_cast<long long>(Evictions),
-                   static_cast<long long>(Bytes),
-                   static_cast<long long>(Entries),
-                   static_cast<long long>(DiskHits),
-                   static_cast<long long>(DiskErrors));
+  JsonWriter W;
+  W.beginObject();
+  W.key("hits").value(Hits);
+  W.key("misses").value(Misses);
+  W.key("evictions").value(Evictions);
+  W.key("bytes").value(Bytes);
+  W.key("entries").value(Entries);
+  W.key("disk_hits").value(DiskHits);
+  W.key("disk_errors").value(DiskErrors);
+  W.endObject();
+  return W.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Trace emission
+//===----------------------------------------------------------------------===//
+
+/// "cache-hit"/"cache-miss"/"cache-disk-read" instant on the calling
+/// thread's lane; \p Bytes < 0 omits the size argument.
+static void traceCacheInstant(const char *Name, const CacheKey &K,
+                              int64_t Bytes) {
+  TraceCollector &C = TraceCollector::instance();
+  if (!C.enabled())
+    return;
+  std::vector<TraceArg> Args;
+  Args.emplace_back("key", K.hex());
+  if (Bytes >= 0)
+    Args.emplace_back("bytes", Bytes);
+  C.instant(Name, "cache", std::move(Args));
+}
+
+/// Samples the memory tier's resident bytes as a counter track.
+static void traceCacheBytes(int64_t MemBytes) {
+  TraceCollector &C = TraceCollector::instance();
+  if (C.enabled())
+    C.counter("cache.mem-bytes", "cache", MemBytes);
 }
 
 //===----------------------------------------------------------------------===//
@@ -313,25 +341,42 @@ std::optional<CachedResult> ResultCache::lookup(const CacheKey &K) {
     std::lock_guard<std::mutex> L(Mu);
     if (Entry *E = findLocked(Key)) {
       ++NHits;
+      traceCacheInstant("cache-hit", K, static_cast<int64_t>(E->Bytes));
       return E->Result;
     }
   }
   if (std::optional<CachedResult> D = readDisk(K)) {
-    std::lock_guard<std::mutex> L(Mu);
-    insertLocked(Key, *D);
-    ++NHits;
-    ++NDiskHits;
+    traceCacheInstant("cache-disk-read", K,
+                      static_cast<int64_t>(D->byteSize()));
+    int64_t Resident;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      insertLocked(Key, *D);
+      ++NHits;
+      ++NDiskHits;
+      Resident = static_cast<int64_t>(MemBytes);
+    }
+    traceCacheInstant("cache-hit", K, static_cast<int64_t>(D->byteSize()));
+    traceCacheBytes(Resident);
     return D;
   }
-  std::lock_guard<std::mutex> L(Mu);
-  ++NMisses;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++NMisses;
+  }
+  traceCacheInstant("cache-miss", K, -1);
   return std::nullopt;
 }
 
 void ResultCache::store(const CacheKey &K, const CachedResult &R) {
   writeDisk(K, R);
-  std::lock_guard<std::mutex> L(Mu);
-  insertLocked({K.Hi, K.Lo}, R);
+  int64_t Resident;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    insertLocked({K.Hi, K.Lo}, R);
+    Resident = static_cast<int64_t>(MemBytes);
+  }
+  traceCacheBytes(Resident);
 }
 
 CachedResult
@@ -343,6 +388,7 @@ ResultCache::getOrCompute(const CacheKey &K,
   for (;;) {
     if (Entry *E = findLocked(Key)) {
       ++NHits;
+      traceCacheInstant("cache-hit", K, static_cast<int64_t>(E->Bytes));
       if (Hit)
         *Hit = true;
       return E->Result;
@@ -367,11 +413,18 @@ ResultCache::getOrCompute(const CacheKey &K,
     } else {
       ++NMisses;
     }
+    int64_t Resident = static_cast<int64_t>(MemBytes);
     InFlight.erase(Key);
     FlightCV.notify_all();
+    L.unlock();
+    traceCacheInstant(FromDisk ? "cache-hit" : "cache-miss", K,
+                      FromDisk ? static_cast<int64_t>(R.byteSize()) : -1);
+    traceCacheBytes(Resident);
   };
 
   if (std::optional<CachedResult> D = readDisk(K)) {
+    traceCacheInstant("cache-disk-read", K,
+                      static_cast<int64_t>(D->byteSize()));
     Finish(*D, /*FromDisk=*/true);
     if (Hit)
       *Hit = true;

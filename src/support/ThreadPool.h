@@ -12,15 +12,23 @@
 /// rendezvous with wait(). Determinism is the caller's job (sessions share
 /// no mutable state; outputs are ordered by input, not completion).
 ///
+/// When the process-wide TraceCollector is enabled, every worker registers a
+/// named lane ("<prefix>-<index>") at startup, each dispatched task gets a
+/// "task" span on its worker's lane, and the dequeue-minus-enqueue interval
+/// is recorded as a "task-wait" complete span — queue pressure and run time
+/// are separately visible in the exported timeline.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCA_SUPPORT_THREADPOOL_H
 #define GCA_SUPPORT_THREADPOOL_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,8 +37,9 @@ namespace gca {
 class ThreadPool {
 public:
   /// Spawns \p NumThreads workers; 0 means std::thread::hardware_concurrency
-  /// (at least 1).
-  explicit ThreadPool(unsigned NumThreads = 0);
+  /// (at least 1). \p LanePrefix names the workers' trace lanes.
+  explicit ThreadPool(unsigned NumThreads = 0,
+                      std::string LanePrefix = "worker");
 
   /// Waits for all queued work, then joins the workers.
   ~ThreadPool();
@@ -47,10 +56,18 @@ public:
   unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
 
 private:
-  void workerLoop();
+  struct QueuedTask {
+    std::function<void()> Fn;
+    /// TraceCollector::nowNs() at enqueue when tracing was on; UINT64_MAX
+    /// otherwise (so a task enqueued before enable() reports no wait span).
+    uint64_t EnqueueNs;
+  };
 
+  void workerLoop(unsigned Index);
+
+  std::string LanePrefix;
   std::vector<std::thread> Workers;
-  std::deque<std::function<void()>> Queue;
+  std::deque<QueuedTask> Queue;
   std::mutex Mu;
   std::condition_variable WorkCV; ///< Signals workers: work or shutdown.
   std::condition_variable IdleCV; ///< Signals wait(): queue drained and idle.

@@ -7,7 +7,9 @@
 
 #include "support/Timer.h"
 
+#include "support/Json.h"
 #include "support/StrUtil.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <chrono>
@@ -51,10 +53,18 @@ void TimeTrace::enter(const std::string &Name) {
     N->Name = Name;
   }
   Stack.push_back({N, wallNow(), cpuNow()});
+  // Every timed region doubles as a trace span: the pipeline's pass and
+  // per-routine enter/exit points feed the trace for free.
+  TraceCollector &C = TraceCollector::instance();
+  if (C.enabled())
+    C.beginSpan(Name, "region");
 }
 
 TimeRecord TimeTrace::exit() {
   assert(!Stack.empty() && "exit() without matching enter()");
+  TraceCollector &C = TraceCollector::instance();
+  if (C.enabled())
+    C.endSpan();
   Open O = Stack.back();
   Stack.pop_back();
   TimeRecord Delta;
@@ -89,26 +99,24 @@ std::string TimeTrace::report() const {
   return Out;
 }
 
-static void jsonNode(const TimeTrace::Node &N, std::string &Out) {
-  Out += strFormat("{\"name\":\"%s\",\"wall_s\":%.6f,\"cpu_s\":%.6f,"
-                   "\"invocations\":%lld,\"children\":[",
-                   N.Name.c_str(), N.Time.WallSec, N.Time.CpuSec,
-                   static_cast<long long>(N.Time.Invocations));
-  for (size_t I = 0; I != N.Children.size(); ++I) {
-    if (I)
-      Out += ",";
-    jsonNode(*N.Children[I], Out);
-  }
-  Out += "]}";
+static void jsonNode(const TimeTrace::Node &N, JsonWriter &W) {
+  W.beginObject();
+  W.key("name").value(N.Name);
+  W.key("wall_s").value(N.Time.WallSec, 6);
+  W.key("cpu_s").value(N.Time.CpuSec, 6);
+  W.key("invocations").value(N.Time.Invocations);
+  W.key("children").beginArray();
+  for (const auto &C : N.Children)
+    jsonNode(*C, W);
+  W.endArray();
+  W.endObject();
 }
 
 std::string TimeTrace::json() const {
-  std::string Out = "[";
-  for (size_t I = 0; I != Root.Children.size(); ++I) {
-    if (I)
-      Out += ",";
-    jsonNode(*Root.Children[I], Out);
-  }
-  Out += "]";
-  return Out;
+  JsonWriter W;
+  W.beginArray();
+  for (const auto &C : Root.Children)
+    jsonNode(*C, W);
+  W.endArray();
+  return W.str();
 }

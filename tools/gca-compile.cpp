@@ -32,8 +32,11 @@
 
 #include "driver/CachedPipeline.h"
 #include "driver/Pipeline.h"
+#include "support/Json.h"
+#include "support/Stats.h"
 #include "support/StrUtil.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 #include "workloads/Workloads.h"
 
 #include <chrono>
@@ -66,6 +69,14 @@ struct ToolOptions {
   size_t CacheBytes = 64ull << 20;
   /// Shared across the whole batch (ResultCache is thread-safe).
   ResultCache *Cache = nullptr;
+  /// Chrome trace-event JSON output path; empty = tracing off.
+  std::string TraceFile;
+  /// Batch metrics snapshot: --metrics[=FILE], JSON by default.
+  bool Metrics = false;
+  std::string MetricsFile;
+  bool MetricsPrometheus = false;
+  /// Print the compile-latency histogram one-liner after the batch.
+  bool HistogramReport = false;
 };
 
 struct Input {
@@ -79,10 +90,16 @@ struct Output {
   std::string Deterministic;
   std::string Timing;
   bool Failed = false;
+  /// For the batch metrics snapshot: the session's counters, the wall time,
+  /// and whether the result cache served this compilation.
+  StatsRegistry::Snapshot Counters;
+  double WallSec = 0;
+  bool CacheHit = false;
 };
 
 Output compileOne(const Input &In, const ToolOptions &Opts) {
   Output Out;
+  TraceSpan Span("compile", "driver", {{"input", In.Name}});
   auto Start = std::chrono::steady_clock::now();
   Session S(In.Source, Opts.Compile);
   bool CacheHit = false;
@@ -96,6 +113,9 @@ Output compileOne(const Input &In, const ToolOptions &Opts) {
   double WallSec =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  Out.Counters = S.Stats.snapshot();
+  Out.WallSec = WallSec;
+  Out.CacheHit = CacheHit;
 
   std::string &D = Out.Deterministic;
   D += "== " + In.Name + " ==\n";
@@ -118,11 +138,18 @@ Output compileOne(const Input &In, const ToolOptions &Opts) {
     Out.Failed = true;
 
   if (Opts.TimeReportJson) {
-    Out.Timing = "{\"input\":\"" + In.Name + "\"";
-    if (Opts.Cache)
-      Out.Timing += strFormat(",\"cache_hit\":%s,\"wall_s\":%.6f",
-                              CacheHit ? "true" : "false", WallSec);
-    Out.Timing += ",\"report\":" + S.timeReportJson() + "}\n";
+    // JsonWriter escapes the input name — file names containing quotes or
+    // backslashes must not corrupt the report document.
+    JsonWriter W;
+    W.beginObject();
+    W.key("input").value(In.Name);
+    if (Opts.Cache) {
+      W.key("cache_hit").value(CacheHit);
+      W.key("wall_s").value(WallSec);
+    }
+    W.key("report").raw(S.timeReportJson());
+    W.endObject();
+    Out.Timing = W.str() + "\n";
   } else if (Opts.TimeReport) {
     Out.Timing = "-- time report: " + In.Name + " --\n";
     if (Opts.Cache)
@@ -172,7 +199,13 @@ int usage(const char *Argv0) {
       "  --no-cache             disable a previously-given --cache\n"
       "  --cache-bytes=N        memory-tier LRU byte budget (default 64 MiB)"
       "\n"
-      "  --cache-stats          print cache hit/miss counters to stderr\n",
+      "  --cache-stats          print cache hit/miss counters to stderr\n"
+      "  --trace=FILE.json      write a Chrome trace-event file (load in\n"
+      "                         Perfetto or chrome://tracing)\n"
+      "  --metrics[=FILE]       write a batch metrics snapshot (stdout when\n"
+      "                         FILE omitted)\n"
+      "  --metrics-format=F     json (default) or prometheus\n"
+      "  --histogram            print the compile-latency histogram\n",
       Argv0);
   return 2;
 }
@@ -247,6 +280,25 @@ int main(int argc, char **argv) {
       Opts.CacheStats = true;
     } else if (Arg == "--verify-determinism") {
       Opts.VerifyDeterminism = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Opts.TraceFile = Arg.substr(std::strlen("--trace="));
+      if (Opts.TraceFile.empty())
+        return usage(argv[0]);
+    } else if (Arg == "--metrics") {
+      Opts.Metrics = true;
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      Opts.Metrics = true;
+      Opts.MetricsFile = Arg.substr(std::strlen("--metrics="));
+    } else if (Arg.rfind("--metrics-format=", 0) == 0) {
+      std::string F = Arg.substr(std::strlen("--metrics-format="));
+      if (F == "prometheus")
+        Opts.MetricsPrometheus = true;
+      else if (F == "json")
+        Opts.MetricsPrometheus = false;
+      else
+        return usage(argv[0]);
+    } else if (Arg == "--histogram") {
+      Opts.HistogramReport = true;
     } else if (Arg == "-p") {
       const char *Eq = I + 1 < argc ? std::strchr(argv[I + 1], '=') : nullptr;
       if (!Eq)
@@ -287,6 +339,11 @@ int main(int argc, char **argv) {
     Opts.Cache = Cache.get();
   }
 
+  if (!Opts.TraceFile.empty()) {
+    TraceCollector::instance().enable();
+    TraceCollector::instance().setThreadName("main");
+  }
+
   std::vector<Output> Outputs = compileAll(Inputs, Opts, Opts.Jobs);
 
   int Status = 0;
@@ -300,6 +357,50 @@ int main(int argc, char **argv) {
     std::fprintf(stdout, "{\"cache\":%s}\n", Cache->stats().json().c_str());
   if (Cache && Opts.CacheStats)
     std::fprintf(stderr, "%s\n", Cache->stats().str().c_str());
+
+  if (Opts.Metrics || Opts.HistogramReport) {
+    // The batch snapshot: session counters summed over all inputs, the
+    // driver's own counters, cache counters, and the latency histogram.
+    MetricsSnapshot Snap;
+    Histogram Wall;
+    int64_t Failures = 0, CacheHits = 0;
+    for (const Output &O : Outputs) {
+      for (const auto &[Name, Value] : O.Counters)
+        Snap.Counters[Name] += Value;
+      Wall.record(static_cast<int64_t>(O.WallSec * 1e9));
+      Failures += O.Failed;
+      CacheHits += O.CacheHit;
+    }
+    Snap.Counters["driver.inputs"] = static_cast<int64_t>(Inputs.size());
+    Snap.Counters["driver.failures"] = Failures;
+    Snap.Counters["driver.jobs"] = Opts.Jobs;
+    if (Cache) {
+      CacheStats CS = Cache->stats();
+      Snap.Counters["driver.cache-hits"] = CacheHits;
+      Snap.Counters["cache.hits"] = CS.Hits;
+      Snap.Counters["cache.misses"] = CS.Misses;
+      Snap.Counters["cache.evictions"] = CS.Evictions;
+      Snap.Counters["cache.disk-hits"] = CS.DiskHits;
+      Snap.Counters["cache.disk-errors"] = CS.DiskErrors;
+    }
+    Snap.addHistogram("compile.wall_ns", Wall);
+    if (Opts.HistogramReport)
+      std::fprintf(stdout, "compile.wall_ns: %s\n", Wall.str().c_str());
+    if (Opts.Metrics) {
+      std::string Doc =
+          Opts.MetricsPrometheus ? Snap.prometheus() : Snap.json() + "\n";
+      if (Opts.MetricsFile.empty()) {
+        std::fputs(Doc.c_str(), stdout);
+      } else if (FILE *F = std::fopen(Opts.MetricsFile.c_str(), "w")) {
+        std::fputs(Doc.c_str(), F);
+        std::fclose(F);
+      } else {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     Opts.MetricsFile.c_str());
+        Status = 1;
+      }
+    }
+  }
 
   if (Opts.VerifyDeterminism) {
     std::vector<Output> Serial = compileAll(Inputs, Opts, 1);
@@ -315,6 +416,14 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "determinism verified: %zu inputs, %u jobs vs serial\n",
                    Inputs.size(), Opts.Jobs);
+  }
+
+  // Workers are joined (compileAll waits on the pool), so the collector is
+  // quiescent and the export is safe.
+  if (!Opts.TraceFile.empty() &&
+      !TraceCollector::instance().writeChromeJson(Opts.TraceFile)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Opts.TraceFile.c_str());
+    Status = 1;
   }
   return Status;
 }
