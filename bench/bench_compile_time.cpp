@@ -14,10 +14,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compile.h"
+#include "driver/Pipeline.h"
 #include "support/Json.h"
 #include "support/ResultCache.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "workloads/Synth.h"
 #include "workloads/Workloads.h"
 #include "xform/Scalarize.h"
 
@@ -118,6 +120,25 @@ BENCHMARK(BM_ParallelBatch)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Placement + audit over one synthetic thousand-entry routine: the workload
+// the indexed placement engine is sized for. N is the nest count of the
+// generator; N=400 yields ~1200 communication entries.
+static void BM_SynthPlacement(benchmark::State &State) {
+  SynthSpec Spec;
+  Spec.Nests = static_cast<int>(State.range(0));
+  Spec.Seed = 1;
+  std::string Src = synthSource(Spec);
+  for (auto _ : State) {
+    CompileOptions Opts;
+    Opts.Audit = true;
+    Session S(Src, Opts);
+    S.run();
+    benchmark::DoNotOptimize(&S.Result);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SynthPlacement)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
 //===----------------------------------------------------------------------===//
 // Results file: BENCH_compile.json
 //===----------------------------------------------------------------------===//
@@ -185,6 +206,46 @@ void writeResultsFile(const char *Path) {
     }
     Snap.Counters["sweep.jobs" + std::to_string(Jobs) + ".wall_ns"] =
         nowNs() - T0;
+  }
+
+  // Synthetic placement-scaling workload: the bench gate's primary signal.
+  // One deterministic ~1200-entry routine set compiled with the full pipeline
+  // plus audit; per-pass wall times come from the session's pass records,
+  // min-of-3 to shed scheduler noise.
+  {
+    SynthSpec Spec;
+    Spec.Nests = 400;
+    Spec.Seed = 1;
+    std::string Src = synthSource(Spec);
+    int64_t PlaceNs = 0, AuditNs = 0, WallNs = 0, Entries = 0;
+    for (int Rep = 0; Rep != 3; ++Rep) {
+      CompileOptions Opts;
+      Opts.Audit = true;
+      int64_t T0 = nowNs();
+      Session S(Src, Opts);
+      S.run();
+      int64_t W = nowNs() - T0;
+      int64_t P = 0, A = 0;
+      for (const PassRecord &PR : S.Passes) {
+        int64_t Ns = static_cast<int64_t>(PR.Time.WallSec * 1e9);
+        if (PR.Name == "placement")
+          P += Ns;
+        else if (PR.Name == "audit")
+          A += Ns;
+      }
+      if (Rep == 0 || W < WallNs)
+        WallNs = W;
+      if (Rep == 0 || P < PlaceNs)
+        PlaceNs = P;
+      if (Rep == 0 || A < AuditNs)
+        AuditNs = A;
+      Entries = S.Stats.get("placement.entries-detected");
+    }
+    Snap.Counters["synth.n400.entries"] = Entries;
+    Snap.Counters["synth.n400.placement_ns"] = PlaceNs;
+    Snap.Counters["synth.n400.audit_ns"] = AuditNs;
+    Snap.Counters["synth.n400.placement_plus_audit_ns"] = PlaceNs + AuditNs;
+    Snap.Counters["synth.n400.wall_ns"] = WallNs;
   }
 
   std::string Doc = Snap.json() + "\n";

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compile-time benchmark regression gate.
+
+Compares a freshly generated BENCH_compile.json (written by
+bench/bench_compile_time) against the committed baseline in
+results/BENCH_compile_baseline.json and fails when a timing metric
+regresses past its threshold.
+
+Metric classes:
+
+  *_ns counters   timing; gated on the ratio current/baseline.  Each
+                  metric owns a warn threshold (default 1.5x; the synth
+                  placement-scaling metrics use 2.0x because they are
+                  sub-second and noisier on shared runners).  Crossing
+                  the warn threshold fails the gate unless --warn-only.
+  *.entries       determinism; must match the baseline exactly (the synth
+                  generator is seeded, so a drift means the workload or
+                  the analysis changed shape -- rebase the baseline
+                  deliberately).
+  everything else informational; printed, never gated.
+
+--warn-only downgrades warn-threshold crossings to warnings (for shared
+CI runners with unpredictable load) but a regression beyond --hard-fail
+(default 3.0x) still fails even then.
+
+Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-metric warn thresholds (ratio current/baseline). Anything not listed
+# uses DEFAULT_WARN. The synth metrics are the primary gate signal: they
+# track the indexed placement engine on a ~1200-entry routine.
+WARN_THRESHOLDS = {
+    "synth.n400.placement_ns": 2.0,
+    "synth.n400.audit_ns": 2.0,
+    "synth.n400.placement_plus_audit_ns": 2.0,
+    "synth.n400.wall_ns": 2.0,
+}
+DEFAULT_WARN = 1.5
+
+# Counters that must match the baseline bit-for-bit.
+EXACT_KEYS = {"synth.n400.entries"}
+
+
+def load_counters(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: error: cannot read '{path}': {e}", file=sys.stderr)
+        sys.exit(2)
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        print(f"bench_gate: error: '{path}' has no counters object",
+              file=sys.stderr)
+        sys.exit(2)
+    return counters
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="results/BENCH_compile_baseline.json")
+    ap.add_argument("--current", default="BENCH_compile.json")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="warn-threshold crossings do not fail the gate")
+    ap.add_argument("--hard-fail", type=float, default=3.0,
+                    help="ratio that fails even with --warn-only")
+    args = ap.parse_args()
+
+    base = load_counters(args.baseline)
+    cur = load_counters(args.current)
+
+    failures = []
+    warnings = []
+
+    for key in sorted(set(base) | set(cur)):
+        if key not in cur:
+            warnings.append(f"{key}: present in baseline, missing in current")
+            continue
+        if key not in base:
+            print(f"  new    {key} = {cur[key]}")
+            continue
+        b, c = base[key], cur[key]
+
+        if key in EXACT_KEYS:
+            if b != c:
+                failures.append(f"{key}: expected {b}, got {c} "
+                                "(deterministic counter drifted)")
+            else:
+                print(f"  exact  {key} = {c}")
+            continue
+
+        if not key.endswith("_ns"):
+            print(f"  info   {key} = {c} (baseline {b})")
+            continue
+
+        if b <= 0:
+            warnings.append(f"{key}: baseline is {b}, cannot compute ratio")
+            continue
+        ratio = c / b
+        warn_at = WARN_THRESHOLDS.get(key, DEFAULT_WARN)
+        verdict = "ok"
+        if ratio > args.hard_fail:
+            failures.append(f"{key}: {c} vs baseline {b} "
+                            f"({ratio:.2f}x > hard limit {args.hard_fail}x)")
+            verdict = "FAIL"
+        elif ratio > warn_at:
+            msg = (f"{key}: {c} vs baseline {b} "
+                   f"({ratio:.2f}x > {warn_at}x)")
+            if args.warn_only:
+                warnings.append(msg)
+                verdict = "warn"
+            else:
+                failures.append(msg)
+                verdict = "FAIL"
+        print(f"  {verdict:<6} {key} ratio {ratio:.2f} "
+              f"(current {c}, baseline {b})")
+
+    for w in warnings:
+        print(f"bench_gate: warning: {w}")
+    for f in failures:
+        print(f"bench_gate: FAIL: {f}")
+    if failures:
+        return 1
+    print(f"bench_gate: ok ({len(base)} baseline metrics, "
+          f"{len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

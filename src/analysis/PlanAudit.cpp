@@ -88,6 +88,15 @@ public:
 
     collectArrayDefs();
     computeBranchSignatures();
+    // Sorted dense slot ids of every entry's original placement range, so
+    // the per-member "is the group's slot a legal position" probe in
+    // checkCombining is a binary search instead of a list scan.
+    OrigCandIds.resize(Plan.Entries.size());
+    for (const CommEntry &E : Plan.Entries) {
+      for (const Slot &S : E.OriginalCandidates)
+        OrigCandIds[E.Id].push_back(Ctx.G.slotId(S));
+      std::sort(OrigCandIds[E.Id].begin(), OrigCandIds[E.Id].end());
+    }
 
     checkStructure();
     for (const CommEntry &E : Plan.Entries) {
@@ -286,12 +295,39 @@ private:
       return; // Reductions consume partial sums computed at their statement.
     const Slot &P = G.Placement;
     const std::vector<int> &UseNest = Ctx.G.loopNestOf(E.UseStmt);
+    // Levels whose carrying loop does not enclose the placement: only these
+    // can produce a family-(b) violation.
+    int NL = static_cast<int>(UseNest.size());
+    std::vector<char> LevelBad(static_cast<size_t>(NL) + 1, 0);
+    bool AnyBad = false;
+    for (int L = 1; L <= NL; ++L) {
+      LevelBad[L] = Ctx.G.enclosingLoopAtLevel(P.Node, L) != UseNest[L - 1];
+      AnyBad |= LevelBad[L] != 0;
+    }
     for (const AssignStmt *D : ArrayDefs[E.ArrayId]) {
+      // Screens that avoid the subscript solve: (a) needs the def textually
+      // before the use (loop independence) and the placement dominating it;
+      // (b) needs some carried level L <= CNL whose loop misses the
+      // placement. Both are O(1)-checkable from the statement positions.
+      bool NeedA = Ctx.G.preorderOf(D) < Ctx.G.preorderOf(E.UseStmt) &&
+                   Ctx.DT.slotDominates(P, Ctx.G.slotBefore(D));
+      bool NeedB = false;
+      if (AnyBad) {
+        int CNL = Ctx.Dep.commonNestingLevel(D, E.UseStmt);
+        for (int L = 1; L <= CNL && !NeedB; ++L)
+          NeedB = LevelBad[L] != 0;
+      }
+      if (!NeedA && !NeedB)
+        continue;
       for (const ArrayRef &Ref : E.Refs) {
+        // One subscript solve per (def, ref); the loop-independent and
+        // per-level carried predicates both derive from the summary.
+        DepDirs &DD = DirsScratch;
+        Ctx.Dep.flowDirections(D, E.UseStmt, Ref, DD);
         // (a) Same-iteration staleness: a definition with a feasible
         // loop-independent flow dependence to the use that can execute
         // after the communication fired.
-        if (Ctx.Dep.loopIndependent(D, E.UseStmt, Ref) &&
+        if (DepTester::loopIndependentFromDirs(DD) &&
             !onDisjointBranches(D, E.UseStmt) &&
             Ctx.DT.slotDominates(P, Ctx.G.slotBefore(D))) {
           violate(AuditRule::InterveningDef, E.Id, G.Id, locOf(E),
@@ -306,10 +342,9 @@ private:
         // (b) Cross-iteration staleness: a definition with a dependence
         // carried by loop l rewrites communicated data every iteration, so
         // the communication must fire inside that loop.
-        int CNL = Ctx.Dep.commonNestingLevel(D, E.UseStmt);
         bool Flagged = false;
-        for (int L = 1; L <= CNL && !Flagged; ++L) {
-          if (!Ctx.Dep.carriedAt(D, E.UseStmt, Ref, L))
+        for (int L = 1; L <= DD.CNL && !Flagged; ++L) {
+          if (!DepTester::carriedFromDirs(DD, L))
             continue;
           if (static_cast<int>(UseNest.size()) < L ||
               Ctx.G.enclosingLoopAtLevel(P.Node, L) != UseNest[L - 1]) {
@@ -389,9 +424,8 @@ private:
       checkMapping(E);
       // The final position must be common to every member's original
       // placement range (Section 4.7's latest-common-position rule).
-      if (std::find(E.OriginalCandidates.begin(),
-                    E.OriginalCandidates.end(),
-                    G.Placement) == E.OriginalCandidates.end())
+      if (!std::binary_search(OrigCandIds[Id].begin(), OrigCandIds[Id].end(),
+                              Ctx.G.slotId(G.Placement)))
         violate(AuditRule::CombineLegality, Id, G.Id, locOf(E),
                 strFormat("group %d placed at %s, which is not a legal "
                           "placement point of member entry %d",
@@ -425,14 +459,21 @@ private:
   std::vector<std::vector<const AssignStmt *>> ArrayDefs;
   /// Stmt id -> (if id, branch) ancestor pairs.
   std::vector<std::vector<std::pair<int, int>>> BranchSig;
+  /// Entry id -> sorted dense slot ids of OriginalCandidates.
+  std::vector<std::vector<int>> OrigCandIds;
+  /// Reused across every (def, ref) subscript solve.
+  DepDirs DirsScratch;
 };
 
 } // namespace
 
 AuditReport gca::auditPlan(const AnalysisContext &Ctx, const CommPlan &Plan,
                            const PlacementOptions &Opts, DiagEngine *Diags) {
+  uint64_t QueriesBefore = Ctx.DT.queryCount();
   AuditReport Report = Auditor(Ctx, Plan, Opts, Diags).run();
   if (StatsRegistry *S = Opts.Stats) {
+    S->add("dom.queries",
+           static_cast<int64_t>(Ctx.DT.queryCount() - QueriesBefore));
     S->add("audit.entries-checked", Report.EntriesChecked);
     S->add("audit.groups-checked", Report.GroupsChecked);
     // The six invariant families of the file comment each ran once.

@@ -164,7 +164,22 @@ private:
 Cfg Cfg::build(const Routine &R) {
   CfgBuilder B(R);
   B.run();
-  return B.take();
+  Cfg G = B.take();
+  G.numberSlots();
+  return G;
+}
+
+void Cfg::numberSlots() {
+  NodeSlotBase.assign(Nodes.size(), 0);
+  int Next = 0;
+  for (size_t N = 0; N != Nodes.size(); ++N) {
+    NodeSlotBase[N] = Next;
+    Next += static_cast<int>(Nodes[N].Stmts.size()) + 1;
+  }
+  SlotOfId.resize(Next);
+  for (size_t N = 0; N != Nodes.size(); ++N)
+    for (int I = 0, E = static_cast<int>(Nodes[N].Stmts.size()); I <= E; ++I)
+      SlotOfId[NodeSlotBase[N] + I] = {static_cast<int>(N), I};
 }
 
 int Cfg::nestingLevel(int Node) const {

@@ -126,6 +126,23 @@ public:
   /// End-of-node slot (used for preheader/header placements).
   Slot slotAtEnd(int Node) const;
 
+  // Dense slot numbering -------------------------------------------------
+  //
+  // Every slot of the routine has a dense id in [0, numSlots()), assigned
+  // node-major / index-minor, so ascending id order coincides with
+  // Slot::operator< (and hence with std::map<Slot, ...> iteration order).
+  // The placement engine's sorted-id slot sets and per-slot tables are
+  // built on these ids.
+
+  /// Total number of slots: sum over nodes of (numStmts + 1).
+  int numSlots() const { return static_cast<int>(SlotOfId.size()); }
+
+  /// Dense id of \p S.
+  int slotId(const Slot &S) const { return NodeSlotBase[S.Node] + S.Index; }
+
+  /// The slot with dense id \p Id.
+  const Slot &slotOfId(int Id) const { return SlotOfId[Id]; }
+
   /// Source pre-order position of \p S, for textual-order comparisons in the
   /// loop-independent dependence test.
   int preorderOf(const AssignStmt *S) const;
@@ -158,6 +175,12 @@ private:
   std::vector<std::vector<int>> StmtLoopNest;
   /// LoopStmt -> CfgLoop id; IfStmt -> join node id; -1 otherwise.
   std::vector<int> StmtAux;
+
+  /// First slot id of each node (prefix sums of Stmts.size() + 1) and the
+  /// id -> slot reverse map.
+  std::vector<int> NodeSlotBase;
+  std::vector<Slot> SlotOfId;
+  void numberSlots();
 
   friend class CfgBuilder;
 };

@@ -12,19 +12,20 @@
 
 using namespace gca;
 
-/// Computes a reverse-postorder of the nodes reachable from entry.
-static std::vector<int> reversePostorder(const Cfg &G) {
+/// Computes a reverse-postorder of the nodes reachable from \p Entry.
+static std::vector<int>
+reversePostorder(const std::vector<std::vector<int>> &Succs, int Entry) {
   std::vector<int> Order;
-  std::vector<char> Visited(G.numNodes(), 0);
+  std::vector<char> Visited(Succs.size(), 0);
   // Iterative DFS with explicit (node, next-successor) stack.
   std::vector<std::pair<int, unsigned>> Stack;
-  Stack.emplace_back(G.entry(), 0);
-  Visited[G.entry()] = 1;
+  Stack.emplace_back(Entry, 0);
+  Visited[Entry] = 1;
   while (!Stack.empty()) {
     auto &[N, NextSucc] = Stack.back();
-    const CfgNode &Node = G.node(N);
-    if (NextSucc < Node.Succs.size()) {
-      int S = Node.Succs[NextSucc++];
+    const std::vector<int> &NodeSuccs = Succs[N];
+    if (NextSucc < NodeSuccs.size()) {
+      int S = NodeSuccs[NextSucc++];
       if (!Visited[S]) {
         Visited[S] = 1;
         Stack.emplace_back(S, 0);
@@ -38,19 +39,19 @@ static std::vector<int> reversePostorder(const Cfg &G) {
   return Order;
 }
 
-DomTree DomTree::compute(const Cfg &G) {
+DomTree DomTree::computeImpl(unsigned N, int Entry,
+                             const std::vector<std::vector<int>> &Succs,
+                             const std::vector<std::vector<int>> &Preds) {
   DomTree T;
-  unsigned N = G.numNodes();
   T.IDom.assign(N, -1);
   T.Depth.assign(N, 0);
   T.Children.assign(N, {});
 
-  std::vector<int> RPO = reversePostorder(G);
+  std::vector<int> RPO = reversePostorder(Succs, Entry);
   std::vector<int> RpoIndex(N, -1);
   for (int I = 0, E = static_cast<int>(RPO.size()); I != E; ++I)
     RpoIndex[RPO[I]] = I;
 
-  int Entry = G.entry();
   T.IDom[Entry] = Entry; // Temporarily self, per CHK convention.
 
   auto intersect = [&](int A, int B) {
@@ -70,7 +71,7 @@ DomTree DomTree::compute(const Cfg &G) {
       if (Node == Entry)
         continue;
       int NewIDom = -1;
-      for (int P : G.node(Node).Preds) {
+      for (int P : Preds[Node]) {
         if (RpoIndex[P] < 0 || T.IDom[P] < 0)
           continue; // Unreachable or unprocessed predecessor.
         NewIDom = NewIDom < 0 ? P : intersect(P, NewIDom);
@@ -92,11 +93,95 @@ DomTree DomTree::compute(const Cfg &G) {
   // Depths in RPO order: the idom of a node always precedes it in RPO.
   for (int Node : RPO)
     T.Depth[Node] = Node == Entry ? 0 : T.Depth[T.IDom[Node]] + 1;
+
+  T.buildQueryStructures(Entry);
   return T;
 }
 
-bool DomTree::dominates(int A, int B) const {
-  while (Depth[B] > Depth[A])
-    B = IDom[B];
-  return A == B;
+DomTree DomTree::compute(const Cfg &G) {
+  unsigned N = G.numNodes();
+  std::vector<std::vector<int>> Succs(N), Preds(N);
+  for (unsigned I = 0; I != N; ++I) {
+    Succs[I] = G.node(I).Succs;
+    Preds[I] = G.node(I).Preds;
+  }
+  return computeImpl(N, G.entry(), Succs, Preds);
+}
+
+DomTree DomTree::computeFromSuccessors(
+    const std::vector<std::vector<int>> &Succs, int Entry) {
+  std::vector<std::vector<int>> Preds(Succs.size());
+  for (size_t I = 0; I != Succs.size(); ++I)
+    for (int S : Succs[I])
+      Preds[S].push_back(static_cast<int>(I));
+  return computeImpl(static_cast<unsigned>(Succs.size()), Entry, Succs,
+                     Preds);
+}
+
+void DomTree::buildQueryStructures(int Entry) {
+  unsigned N = static_cast<unsigned>(IDom.size());
+  DfsIn.assign(N, -1);
+  DfsOut.assign(N, -1);
+
+  // Pre/post timestamps from one DFS over the dominator tree. Reachable B
+  // is in A's subtree iff In[A] <= In[B] && Out[B] <= Out[A].
+  int Clock = 0;
+  std::vector<std::pair<int, unsigned>> Stack;
+  Stack.emplace_back(Entry, 0);
+  DfsIn[Entry] = Clock++;
+  int MaxDepth = 0;
+  while (!Stack.empty()) {
+    auto &[Node, NextChild] = Stack.back();
+    if (NextChild < Children[Node].size()) {
+      int C = Children[Node][NextChild++];
+      DfsIn[C] = Clock++;
+      MaxDepth = std::max(MaxDepth, Depth[C]);
+      Stack.emplace_back(C, 0);
+      continue;
+    }
+    DfsOut[Node] = Clock++;
+    Stack.pop_back();
+  }
+
+  // Binary-lifting table. The entry (and every unreachable node) saturates
+  // to itself so lifts never leave the array.
+  int Levels = 1;
+  while ((1 << Levels) <= MaxDepth)
+    ++Levels;
+  Up.assign(Levels, std::vector<int>(N));
+  for (unsigned I = 0; I != N; ++I)
+    Up[0][I] = IDom[I] >= 0 ? IDom[I] : static_cast<int>(I);
+  for (int K = 1; K != Levels; ++K)
+    for (unsigned I = 0; I != N; ++I)
+      Up[K][I] = Up[K - 1][Up[K - 1][I]];
+}
+
+int DomTree::commonDominator(int A, int B) const {
+  ++Queries;
+  assert(DfsIn[A] >= 0 && DfsIn[B] >= 0 &&
+         "common dominator of unreachable node");
+  // Ancestor fast paths via the intervals.
+  auto InSubtree = [&](int X, int Y) { // Y inside X's subtree.
+    return DfsIn[X] <= DfsIn[Y] && DfsOut[Y] <= DfsOut[X];
+  };
+  if (InSubtree(A, B))
+    return A;
+  if (InSubtree(B, A))
+    return B;
+  // Lift the deeper node to the shallower's depth, then lift both while
+  // their ancestors differ.
+  if (Depth[A] < Depth[B])
+    std::swap(A, B);
+  int Delta = Depth[A] - Depth[B];
+  for (int K = 0; Delta; ++K, Delta >>= 1)
+    if (Delta & 1)
+      A = Up[K][A];
+  if (A == B)
+    return A;
+  for (int K = static_cast<int>(Up.size()) - 1; K >= 0; --K)
+    if (Up[K][A] != Up[K][B]) {
+      A = Up[K][A];
+      B = Up[K][B];
+    }
+  return Up[0][A];
 }

@@ -33,12 +33,33 @@ using namespace gca;
 
 namespace {
 
+/// Cached absorber-independent contributions of one def: whether any ref
+/// has a loop-independent dependence, and the carried-level header slots
+/// (a span into the shared HeaderPool).
+struct DefContrib {
+  int Epoch = 0; ///< Valid when equal to the scratch epoch.
+  bool AnyLI = false;
+  int PoolBegin = 0, PoolEnd = 0;
+};
+
+/// Per-thread walk state, reused across entries: the walk touches only a
+/// fraction of the def table per entry, so epoch tags beat full clears.
+/// thread_local because the batch driver compiles units concurrently.
+struct WalkScratch {
+  std::vector<int64_t> BestDepth;
+  std::vector<int> BestEpoch;
+  std::vector<DefContrib> Contrib;
+  std::vector<std::pair<Slot, int64_t>> HeaderPool;
+  int Epoch = 0;
+};
+
 /// Computes Earliest(u) for one entry via dependence-source barriers.
 class EarliestWalk {
 public:
-  EarliestWalk(const AnalysisContext &Ctx, const CommEntry &E)
+  EarliestWalk(const AnalysisContext &Ctx, const CommEntry &E,
+               WalkScratch &SC)
       : Ctx(Ctx), E(E), UseNest(Ctx.G.loopNestOf(E.UseStmt)),
-        UsePoint(Ctx.G.slotBefore(E.UseStmt)) {}
+        UsePoint(Ctx.G.slotBefore(E.UseStmt)), SC(SC) {}
 
   /// Classifies the dependences from def \p D to the use and pushes their
   /// barriers. A loop-independent dependence flows along the intra-iteration
@@ -48,35 +69,60 @@ public:
   /// header top (the phi-entry point), independent of the chain route that
   /// reached D. Returns true when a loop-independent dependence pins this
   /// chain (nothing above D can supply fresher data along it).
-  bool pushBarriers(const SsaDef &D, const Slot &Absorber) {
+  ///
+  /// The walk may revisit a def with a deeper absorber; everything except
+  /// the absorber itself is a pure function of (def, use), so the subscript
+  /// solves run once per def and the contributions replay from a cache:
+  /// barrier updates are commutative maxima, making the replay exact.
+  bool pushBarriers(int DefId, const SsaDef &D, const Slot &Absorber,
+                    int64_t AbsDepth) {
     assert(D.Kind == DefKind::Regular && "dependence test needs a statement");
-    bool Pinned = false;
-    int CNL = Ctx.Dep.commonNestingLevel(D.Stmt, E.UseStmt);
-    for (const ArrayRef &Ref : E.Refs) {
-      if (!Pinned && Ctx.Dep.loopIndependent(D.Stmt, E.UseStmt, Ref)) {
-        if (slotLater(Absorber, Barrier))
-          Barrier = Absorber;
-        Pinned = true;
+    DefContrib &C = SC.Contrib[DefId];
+    if (C.Epoch != SC.Epoch) {
+      C.Epoch = SC.Epoch;
+      C.AnyLI = false;
+      C.PoolBegin = static_cast<int>(SC.HeaderPool.size());
+      for (const ArrayRef &Ref : E.Refs) {
+        // One subscript solve per (def, ref); every level predicate below
+        // is derived from the summary.
+        Ctx.Dep.flowDirections(D.Stmt, E.UseStmt, Ref, Scratch);
+        C.AnyLI |= DepTester::loopIndependentFromDirs(Scratch);
+        for (int L = 1; L <= Scratch.CNL; ++L) {
+          if (!DepTester::carriedFromDirs(Scratch, L))
+            continue;
+          const CfgLoop &Loop = Ctx.G.loop(UseNest[L - 1]);
+          Slot Header{Loop.Header, 0};
+          SC.HeaderPool.push_back({Header, slotDepth(Header)});
+        }
       }
-      for (int L = 1; L <= CNL; ++L) {
-        if (!Ctx.Dep.carriedAt(D.Stmt, E.UseStmt, Ref, L))
-          continue;
-        const CfgLoop &Loop = Ctx.G.loop(UseNest[L - 1]);
-        Slot Header{Loop.Header, 0};
-        if (slotLater(Header, Barrier))
-          Barrier = Header;
-      }
+      C.PoolEnd = static_cast<int>(SC.HeaderPool.size());
     }
-    return Pinned;
+    for (int I = C.PoolBegin; I != C.PoolEnd; ++I)
+      if (SC.HeaderPool[I].second > BarrierDepth) {
+        Barrier = SC.HeaderPool[I].first;
+        BarrierDepth = SC.HeaderPool[I].second;
+      }
+    if (C.AnyLI && AbsDepth > BarrierDepth) {
+      Barrier = Absorber;
+      BarrierDepth = AbsDepth;
+    }
+    return C.AnyLI;
   }
 
   Slot run() {
     int Var = Ctx.S.varOfArray(E.ArrayId);
     int Start = Ctx.S.reachingBefore(E.UseStmt, Var);
-    BestDepth.assign(Ctx.S.numDefs(), -1);
+    if (SC.BestEpoch.size() < Ctx.S.numDefs()) {
+      SC.BestDepth.resize(Ctx.S.numDefs());
+      SC.BestEpoch.resize(Ctx.S.numDefs(), 0);
+      SC.Contrib.resize(Ctx.S.numDefs());
+    }
+    ++SC.Epoch;
+    SC.HeaderPool.clear();
     Slot EntrySlot = Ctx.S.def(Ctx.S.entryDef(Var)).AfterSlot;
     Barrier = EntrySlot;
-    walk(Start, EntrySlot);
+    BarrierDepth = slotDepth(EntrySlot);
+    walk(Start, EntrySlot, BarrierDepth);
     return Barrier;
   }
 
@@ -86,41 +132,39 @@ private:
     return static_cast<int64_t>(Ctx.DT.depth(S.Node)) * 1000000 + S.Index;
   }
 
-  bool slotLater(const Slot &A, const Slot &B) const {
-    return slotDepth(A) > slotDepth(B);
-  }
-
   /// Walks the use-def chain from the use toward definitions; \p Absorber is
   /// the most recently passed chain position that dominates the use — i.e.
   /// the first dominating point (walking back up toward the use) at which
   /// data defined here surfaces. A source found below pins Earliest to the
   /// absorber current when it is reached. Defs may be revisited with a
   /// deeper absorber so the deepest (safest) barrier is always found.
-  void walk(int DefId, Slot Absorber) {
+  void walk(int DefId, Slot Absorber, int64_t AbsDepth) {
     if (DefId < 0)
       return;
     const SsaDef &D = Ctx.S.def(DefId);
-    if (Ctx.DT.slotDominates(D.AfterSlot, UsePoint))
+    if (Ctx.DT.slotDominates(D.AfterSlot, UsePoint)) {
       Absorber = D.AfterSlot;
-    int64_t Depth = slotDepth(Absorber);
-    if (BestDepth[DefId] >= Depth)
+      AbsDepth = slotDepth(Absorber);
+    }
+    if (SC.BestEpoch[DefId] == SC.Epoch && SC.BestDepth[DefId] >= AbsDepth)
       return;
-    BestDepth[DefId] = Depth;
+    SC.BestEpoch[DefId] = SC.Epoch;
+    SC.BestDepth[DefId] = AbsDepth;
 
     switch (D.Kind) {
     case DefKind::Entry:
       return;
     case DefKind::Regular:
-      if (pushBarriers(D, Absorber))
+      if (pushBarriers(DefId, D, Absorber, AbsDepth))
         return; // Loop-independent source: the chain is pinned here.
       if (Ctx.S.varIsArray(D.Var)) // Preserving: look through.
-        walk(D.Prev, Absorber);
+        walk(D.Prev, Absorber, AbsDepth);
       return;
     case DefKind::PhiEntry:
     case DefKind::PhiExit:
     case DefKind::PhiMerge:
       for (int P : D.Params)
-        walk(P, Absorber);
+        walk(P, Absorber, AbsDepth);
       return;
     }
   }
@@ -130,14 +174,17 @@ private:
   const std::vector<int> &UseNest;
   Slot UsePoint;
   Slot Barrier;
-  std::vector<int64_t> BestDepth;
+  int64_t BarrierDepth = 0;
+  WalkScratch &SC;
+  DepDirs Scratch;
 };
 
 } // namespace
 
 Slot gca::computeEarliestSlot(const AnalysisContext &Ctx,
                               const CommEntry &E) {
-  return EarliestWalk(Ctx, E).run();
+  thread_local WalkScratch SC;
+  return EarliestWalk(Ctx, E, SC).run();
 }
 
 /// Latest(u) of Section 4.2: CommLevel = max DepLevel over reaching regular
@@ -150,16 +197,25 @@ static void computeLatest(const AnalysisContext &Ctx, CommEntry &E) {
   bool ReachesEntry = false;
   Ctx.S.collectReachingRegularDefs(Reach, Defs, ReachesEntry);
 
-  int CommLevel = 0;
-  for (int DId : Defs) {
-    const SsaDef &D = Ctx.S.def(DId);
-    for (const ArrayRef &Ref : E.Refs)
-      CommLevel =
-          std::max(CommLevel, Ctx.Dep.depLevel(D.Stmt, E.UseStmt, Ref));
-  }
-
   const std::vector<int> &Nest = Ctx.G.loopNestOf(E.UseStmt);
   int NL = static_cast<int>(Nest.size());
+
+  int CommLevel = 0;
+  DepDirs Scratch;
+  for (int DId : Defs) {
+    if (CommLevel == NL)
+      break; // Saturated: DepLevel never exceeds the use's nest depth.
+    const SsaDef &D = Ctx.S.def(DId);
+    // DepLevel(d, u) <= CNL(d, u), so a def whose common nesting level does
+    // not exceed the max found so far cannot raise it: skip the subscript
+    // solve entirely.
+    if (Ctx.Dep.commonNestingLevel(D.Stmt, E.UseStmt) <= CommLevel)
+      continue;
+    for (const ArrayRef &Ref : E.Refs) {
+      Ctx.Dep.flowDirections(D.Stmt, E.UseStmt, Ref, Scratch);
+      CommLevel = std::max(CommLevel, DepTester::depLevelFromDirs(Scratch));
+    }
+  }
   assert(CommLevel <= NL && "communication level deeper than the use");
   E.CommLevel = CommLevel;
   if (CommLevel == NL) {
@@ -174,33 +230,34 @@ static void computeLatest(const AnalysisContext &Ctx, CommEntry &E) {
 /// included; Lo must dominate Hi), in dominance order.
 static std::vector<Slot> slotRange(const AnalysisContext &Ctx, const Slot &Lo,
                                    const Slot &Hi) {
+  // Emitted directly in dominance order (earliest first): the blocks on the
+  // idom chain from Lo down to Hi have strictly increasing depth, and slots
+  // within one block are ascending, so no sort is needed.
   std::vector<Slot> Out;
   if (Lo.Node == Hi.Node) {
     for (int I = Lo.Index; I <= Hi.Index; ++I)
       Out.push_back({Lo.Node, I});
-  } else {
-    for (int I = 0; I <= Hi.Index; ++I)
-      Out.push_back({Hi.Node, I});
-    int C = Ctx.DT.idom(Hi.Node);
-    while (C >= 0 && C != Lo.Node) {
-      Slot End = Ctx.G.slotAtEnd(C);
-      for (int I = 0; I <= End.Index; ++I)
-        Out.push_back({C, I});
-      C = Ctx.DT.idom(C);
-    }
-    assert(C == Lo.Node &&
-           "Earliest block not on the dominator chain of Latest (Claim 4.5)");
-    Slot End = Ctx.G.slotAtEnd(Lo.Node);
-    for (int I = Lo.Index; I <= End.Index; ++I)
-      Out.push_back({Lo.Node, I});
+    return Out;
   }
-
-  // Dominance order, earliest first.
-  std::sort(Out.begin(), Out.end(), [&](const Slot &A, const Slot &B) {
-    if (A.Node != B.Node)
-      return Ctx.DT.depth(A.Node) < Ctx.DT.depth(B.Node);
-    return A.Index < B.Index;
-  });
+  // Collect the interior chain Hi -> Lo (exclusive), then walk it backward.
+  std::vector<int> Chain;
+  int C = Ctx.DT.idom(Hi.Node);
+  while (C >= 0 && C != Lo.Node) {
+    Chain.push_back(C);
+    C = Ctx.DT.idom(C);
+  }
+  assert(C == Lo.Node &&
+         "Earliest block not on the dominator chain of Latest (Claim 4.5)");
+  Slot End = Ctx.G.slotAtEnd(Lo.Node);
+  for (int I = Lo.Index; I <= End.Index; ++I)
+    Out.push_back({Lo.Node, I});
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+    Slot E2 = Ctx.G.slotAtEnd(*It);
+    for (int I = 0; I <= E2.Index; ++I)
+      Out.push_back({*It, I});
+  }
+  for (int I = 0; I <= Hi.Index; ++I)
+    Out.push_back({Hi.Node, I});
   return Out;
 }
 

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <set>
 
 using namespace gca;
@@ -164,9 +165,12 @@ public:
       : Ctx(Ctx), Opts(Opts) {}
 
   CommPlan run() {
+    DomQueriesStart = Ctx.DT.queryCount();
     CommPlan Plan;
     Plan.Strat = Opts.Strat;
     Plan.Entries = detectCommunication(Ctx, Opts, &Plan.Decisions);
+    AsdCache.resize(Plan.Entries.size());
+    computeClasses(Plan);
     for (CommEntry &E : Plan.Entries) {
       analyzeEntryPlacement(Ctx, E, Opts);
       Plan.Decisions.push_back(
@@ -204,14 +208,18 @@ private:
   // --- Helpers ------------------------------------------------------------
 
   const Asd &asdAt(const CommEntry &E, int Level) {
-    auto Key = std::make_pair(E.Id, Level);
-    auto It = AsdCache.find(Key);
-    if (It != AsdCache.end())
-      return It->second;
-    return AsdCache.emplace(Key, asdOfEntry(Ctx, E, Level)).first->second;
+    auto &PerEntry = AsdCache[E.Id];
+    if (static_cast<int>(PerEntry.size()) <= Level)
+      PerEntry.resize(Level + 1);
+    std::unique_ptr<Asd> &P = PerEntry[Level];
+    if (!P)
+      P = std::make_unique<Asd>(asdOfEntry(Ctx, E, Level));
+    return *P;
   }
 
   int slotLevel(const Slot &S) const { return Ctx.slotLevel(S); }
+
+  int slotIdOf(const Slot &S) const { return Ctx.G.slotId(S); }
 
   /// Total order on slots by dominance depth (later slots order higher).
   bool slotLater(const Slot &A, const Slot &B) const {
@@ -220,20 +228,104 @@ private:
     return A.Index > B.Index;
   }
 
+  /// Reusable epoch-stamped integer table over dense slot ids: reset() is
+  /// O(1), so the per-call cost of a mark/count sweep is the touched slots,
+  /// not numSlots().
+  class DenseTable {
+  public:
+    void ensure(int N) {
+      if (static_cast<int>(Epoch.size()) < N) {
+        Epoch.resize(N, 0);
+        Val.resize(N, 0);
+      }
+    }
+    void reset() { ++Cur; }
+    int get(int I) const { return Epoch[I] == Cur ? Val[I] : 0; }
+    void set(int I, int V) {
+      Epoch[I] = Cur;
+      Val[I] = V;
+    }
+    void inc(int I) { set(I, get(I) + 1); }
+
+  private:
+    std::vector<int> Epoch, Val;
+    int Cur = 0;
+  };
+
+  /// Dense pattern-class ids. CompatClass equates entries whose mappings
+  /// are mutually combinable: away from General, Mapping::compatibleWith is
+  /// an equivalence relation keyed on (kind, template signature, and the
+  /// kind's direction data — shift offset signs, reduction dims, broadcast
+  /// source); General never matches anything (itself included) and gets a
+  /// unique class. SubsumeClass additionally splits by array, since
+  /// Asd::subsumedBy requires ArrayId equality and Mapping::subsumedBy
+  /// implies compatibility. Bucketing the pairwise scans by these ids skips
+  /// exactly the pairs the full scans reject on the cheap kind/signature
+  /// checks, so it cannot change any decision.
+  void computeClasses(const CommPlan &Plan) {
+    std::map<std::string, int> CompatIds;
+    std::map<std::pair<int, int>, int> SubsumeIds;
+    CompatClass.resize(Plan.Entries.size());
+    SubsumeClass.resize(Plan.Entries.size());
+    for (const CommEntry &E : Plan.Entries) {
+      std::string Key;
+      if (E.M.Kind == CommKind::General) {
+        Key = strFormat("G!%d", E.Id);
+      } else {
+        Key = strFormat("%d|", static_cast<int>(E.M.Kind));
+        for (const auto &[Ext, Dist] : E.M.Sig.Dims)
+          Key += strFormat("%lld/%d,", static_cast<long long>(Ext),
+                           static_cast<int>(Dist));
+        Key += "|";
+        switch (E.M.Kind) {
+        case CommKind::Shift:
+          for (int64_t O : E.M.Offsets)
+            Key += O > 0 ? '+' : O < 0 ? '-' : '0';
+          break;
+        case CommKind::Reduce:
+          for (uint8_t D : E.M.ReduceDims)
+            Key += D ? '+' : '.';
+          break;
+        case CommKind::Bcast:
+          Key += strFormat("d%d=%lld", E.M.BcastDim,
+                           static_cast<long long>(E.M.BcastPos));
+          break;
+        default:
+          break;
+        }
+      }
+      auto It = CompatIds.emplace(Key, static_cast<int>(CompatIds.size()));
+      CompatClass[E.Id] = It.first->second;
+      auto It2 = SubsumeIds.emplace(
+          std::make_pair(E.ArrayId, It.first->second),
+          static_cast<int>(SubsumeIds.size()));
+      SubsumeClass[E.Id] = It2.first->second;
+    }
+    NumCompatClasses = static_cast<int>(CompatIds.size());
+  }
+
   /// The latest slot in the (sorted ascending) intersection of candidate
-  /// lists; invalid slot when the intersection is empty.
-  Slot latestCommon(const std::vector<const std::vector<Slot> *> &Lists) const {
+  /// lists; invalid slot when the intersection is empty. A counting merge
+  /// over dense slot ids: a slot of the first list is common iff every
+  /// other list bumped its count. The first list is scanned in its own
+  /// order with the same strict slotLater update as the original nested
+  /// scan, so ties resolve to the same slot.
+  Slot latestCommon(const std::vector<const std::vector<Slot> *> &Lists) {
     if (Lists.empty())
       return Slot();
-    Slot Best;
-    for (const Slot &S : *Lists[0]) {
-      bool InAll = true;
-      for (size_t I = 1; I < Lists.size() && InAll; ++I)
-        InAll = std::find(Lists[I]->begin(), Lists[I]->end(), S) !=
-                Lists[I]->end();
-      if (InAll && (!Best.isValid() || slotLater(S, Best)))
-        Best = S;
+    SlotMarks.ensure(Ctx.G.numSlots());
+    SlotMarks.reset();
+    for (size_t I = 1; I < Lists.size(); ++I) {
+      ++SlotSetMerges;
+      for (const Slot &S : *Lists[I])
+        SlotMarks.inc(slotIdOf(S));
     }
+    int Needed = static_cast<int>(Lists.size()) - 1;
+    Slot Best;
+    for (const Slot &S : *Lists[0])
+      if (SlotMarks.get(slotIdOf(S)) == Needed &&
+          (!Best.isValid() || slotLater(S, Best)))
+        Best = S;
     return Best;
   }
 
@@ -314,12 +406,18 @@ private:
         BySlot[E.Chosen].push_back(E.Id);
 
     for (auto &[S, Ids] : BySlot) {
-      std::vector<int> GroupsHere;
+      // Groups opened at this slot, indexed by the opener's compatibility
+      // class. canJoinGroup rejects any cross-class entry at its very first
+      // check (G.M stays the opener's mapping throughout buildGroups), so
+      // only same-class groups need scanning; within a class the open order
+      // is preserved, so the first accepting group is unchanged.
+      std::map<int, std::vector<int>> GroupsHere;
       for (int Id : Ids) {
         CommEntry &E = Plan.Entries[Id];
         bool Joined = false;
-        for (int GId : GroupsHere) {
+        for (int GId : GroupsHere[CompatClass[Id]]) {
           CommGroup &G = Plan.Groups[GId];
+          ++PairCompares;
           if (canJoinGroup(G, Plan.Entries, E, S)) {
             G.Members.push_back(Id);
             E.GroupId = GId;
@@ -343,7 +441,7 @@ private:
         Plan.Decisions.push_back(
             {DecisionKind::CombinedIntoGroup, Id, G.Id, S, "opened group"});
         Plan.Groups.push_back(std::move(G));
-        GroupsHere.push_back(Plan.Groups.back().Id);
+        GroupsHere[CompatClass[Id]].push_back(Plan.Groups.back().Id);
       }
     }
 
@@ -449,17 +547,29 @@ private:
   void mergeCoplacedGroups(CommPlan &Plan) {
     if (Opts.Strat != Strategy::Global && Opts.Strat != Strategy::Optimal)
       return;
+    // Merge partners per (final slot, compatibility class): a merge needs
+    // equal placements and member-wise compatible mappings, and both are
+    // invariant under merging (offset widening keeps the sign pattern that
+    // keys the class), so only same-bucket groups can ever pass the checks.
+    // Buckets list group ids ascending — the original inner-scan order.
+    std::map<std::pair<int, int>, std::vector<int>> Partners;
+    for (const CommGroup &G : Plan.Groups)
+      Partners[{slotIdOf(G.Placement), CompatClass[G.Members[0]]}].push_back(
+          G.Id);
     bool Progress = true;
     while (Progress) {
       Progress = false;
       for (CommGroup &G1 : Plan.Groups) {
         if (G1.Members.empty())
           continue;
-        for (CommGroup &G2 : Plan.Groups) {
+        for (int G2Id : Partners[{slotIdOf(G1.Placement),
+                                  CompatClass[G1.Members[0]]}]) {
+          CommGroup &G2 = Plan.Groups[G2Id];
           if (G2.Id == G1.Id || G2.Members.empty())
             continue;
           if (!(G1.Placement == G2.Placement) || G1.Kind != G2.Kind)
             continue;
+          ++PairCompares;
           bool AllJoin = true;
           for (int Id : G2.Members)
             AllJoin &= canJoinGroup(G1, Plan.Entries, Plan.Entries[Id],
@@ -514,6 +624,10 @@ private:
       for (const CommGroup &G : Plan.Groups)
         Combined += G.Members.size() > 1;
       S->add("placement.combined-groups", Combined);
+      S->add("dom.queries",
+             static_cast<int64_t>(Ctx.DT.queryCount() - DomQueriesStart));
+      S->add("placement.pair-compares", PairCompares);
+      S->add("placement.slotset-merges", SlotSetMerges);
     }
   }
 
@@ -540,6 +654,12 @@ private:
   void runEarliest(CommPlan &Plan) {
     for (CommEntry &E : Plan.Entries)
       E.Chosen = E.EarliestSlot;
+    // Subsumer candidates per subsume class (ascending entry id, the
+    // original scan order): descriptor coverage requires same array and
+    // mapping class, so entries of other classes can never subsume.
+    std::map<int, std::vector<int>> ClassBuckets;
+    for (const CommEntry &E : Plan.Entries)
+      ClassBuckets[SubsumeClass[E.Id]].push_back(E.Id);
     // Classic redundancy elimination: an entry whose descriptor is covered
     // by one placed at a dominating (or equal, lower-id) slot is dropped.
     bool Progress = true;
@@ -548,9 +668,11 @@ private:
       for (CommEntry &C1 : Plan.Entries) {
         if (C1.Eliminated)
           continue;
-        for (CommEntry &C2 : Plan.Entries) {
+        for (int I2 : ClassBuckets[SubsumeClass[C1.Id]]) {
+          CommEntry &C2 = Plan.Entries[I2];
           if (C2.Id == C1.Id || C2.Eliminated)
             continue;
+          ++PairCompares;
           if (!Ctx.DT.slotDominates(C2.Chosen, C1.Chosen))
             continue;
           // Availability kill: C2's data must still be fresh at C1's use,
@@ -592,9 +714,14 @@ private:
       for (CommEntry &C2 : Plan.Entries) {
         if (C2.Eliminated || C2.M.Kind == CommKind::Reduce)
           continue;
-        for (CommEntry &C1 : Plan.Entries) {
+        // Covering entries must share C2's array and mapping class (the
+        // scan checks exactly that below), so only the class bucket can
+        // qualify.
+        for (int I1 : ClassBuckets[SubsumeClass[C2.Id]]) {
+          CommEntry &C1 = Plan.Entries[I1];
           if (C1.Id == C2.Id || C1.Eliminated)
             continue;
+          ++PairCompares;
           if (!Ctx.DT.slotDominates(C1.Chosen, C2.Chosen))
             continue;
           const Asd &A1 = asdAt(C1, slotLevel(C1.Chosen));
@@ -653,27 +780,75 @@ private:
 
   void subsetElimination(CommPlan &Plan) {
     // CommSet(S1) subset-of CommSet(S2) -> empty CommSet(S1) (Section 4.5).
+    //
+    // Indexed form of the quadratic slot-pair scan. Per pass, each slot's
+    // member set and each entry's candidate set are snapshotted as sorted
+    // dense ids. A slot S2 can cover S1 only if every member of S1 still
+    // listed S2 at pass start — i.e. S2 lies in the intersection of the
+    // members' snapshot candidate lists — so instead of testing S1 against
+    // every other slot, we enumerate that intersection in ascending slot-id
+    // order (the iteration order of the original std::map scan) and apply
+    // the original size/equality/tie checks. A cleared slot's member set is
+    // treated as empty for the rest of the pass, exactly as the original's
+    // in-place Set1.clear() did; per-entry candidate removals never feed
+    // back into a pass in either form, because the scan works off the
+    // snapshot.
     int64_t SlotsCleared = 0;
+    int NumSlots = Ctx.G.numSlots();
     bool Progress = true;
     while (Progress) {
       Progress = false;
-      std::map<Slot, std::set<int>> SlotSet;
+      // Pass-start snapshot: per-entry sorted candidate ids and per-slot
+      // member lists (ascending entry id).
+      std::vector<std::vector<int>> CandIds(Plan.Entries.size());
+      std::vector<std::vector<int>> Members(NumSlots);
+      std::vector<int> UsedSlots;
       for (const CommEntry &E : Plan.Entries)
-        for (const Slot &S : E.Candidates)
-          SlotSet[S].insert(E.Id);
-      for (auto &[S1, Set1] : SlotSet) {
-        if (Set1.empty())
+        for (const Slot &S : E.Candidates) {
+          int Id = slotIdOf(S);
+          CandIds[E.Id].push_back(Id);
+          if (Members[Id].empty())
+            UsedSlots.push_back(Id);
+          Members[Id].push_back(E.Id);
+        }
+      for (std::vector<int> &V : CandIds)
+        std::sort(V.begin(), V.end());
+      std::sort(UsedSlots.begin(), UsedSlots.end());
+      std::vector<char> Cleared(NumSlots, 0);
+
+      for (int S1Id : UsedSlots) {
+        if (Cleared[S1Id])
           continue;
-        for (auto &[S2, Set2] : SlotSet) {
-          if (S1 == S2 || Set1.size() > Set2.size())
+        const std::vector<int> &Set1 = Members[S1Id];
+        Slot S1 = Ctx.G.slotOfId(S1Id);
+        // Enumerate candidate cover slots: the intersection of the members'
+        // snapshot candidate lists, via the smallest list + binary probes.
+        const std::vector<int> *Smallest = &CandIds[Set1[0]];
+        for (int Id : Set1)
+          if (CandIds[Id].size() < Smallest->size())
+            Smallest = &CandIds[Id];
+        for (int S2Id : *Smallest) {
+          if (S2Id == S1Id || Cleared[S2Id])
             continue;
-          bool Subset = std::includes(Set2.begin(), Set2.end(), Set1.begin(),
-                                      Set1.end());
+          size_t Size2 = Members[S2Id].size();
+          if (Set1.size() > Size2)
+            continue;
+          ++PairCompares;
+          bool Subset = true;
+          for (int Id : Set1) {
+            ++SlotSetMerges;
+            if (!std::binary_search(CandIds[Id].begin(), CandIds[Id].end(),
+                                    S2Id)) {
+              Subset = false;
+              break;
+            }
+          }
           if (!Subset)
             continue;
+          Slot S2 = Ctx.G.slotOfId(S2Id);
           // Equal sets: empty the earlier slot (the final latest-common
           // step recovers any flexibility given up here).
-          if (Set1.size() == Set2.size() && !slotLater(S2, S1))
+          if (Set1.size() == Size2 && !slotLater(S2, S1))
             continue;
           for (int Id : Set1) {
             auto &Cand = Plan.Entries[Id].Candidates;
@@ -684,7 +859,7 @@ private:
                strFormat("covered by %s; %d entries affected",
                          slotStr(S2).c_str(),
                          static_cast<int>(Set1.size()))});
-          Set1.clear();
+          Cleared[S1Id] = 1;
           ++SlotsCleared;
           Progress = true;
           break;
@@ -697,28 +872,40 @@ private:
 
   void redundancyElimination(CommPlan &Plan) {
     // Figure 9(f), with the dominance-ordered disabling of the subsumed
-    // entry's candidates.
+    // entry's candidates. The subsumer scan per (slot, entry) is bucketed
+    // by SubsumeClass: Asd::subsumedBy requires same array, kind,
+    // signature, and direction data, so entries of other classes can never
+    // subsume and skipping them changes nothing.
     bool Progress = true;
     while (Progress) {
       Progress = false;
-      std::map<Slot, std::vector<int>> SlotSet;
+      // Member lists per slot id (ascending — the original std::map<Slot>
+      // order) with a per-class index for the subsumer scan.
+      std::map<int, std::vector<int>> SlotSet;
       for (const CommEntry &E : Plan.Entries)
         if (!E.Eliminated)
           for (const Slot &S : E.Candidates)
-            SlotSet[S].push_back(E.Id);
+            SlotSet[slotIdOf(S)].push_back(E.Id);
 
-      for (auto &[S, Ids] : SlotSet) {
+      for (auto &[SId, Ids] : SlotSet) {
+        Slot S = Ctx.G.slotOfId(SId);
         int Level = slotLevel(S);
+        // Class index of this slot's members; entry order within a bucket
+        // stays ascending, so the first accepted subsumer is unchanged.
+        std::map<int, std::vector<int>> Buckets;
+        for (int Id : Ids)
+          Buckets[SubsumeClass[Id]].push_back(Id);
         for (int I1 : Ids) {
           CommEntry &C1 = Plan.Entries[I1];
           if (C1.Eliminated || C1.Candidates.empty())
             continue;
-          for (int I2 : Ids) {
+          for (int I2 : Buckets[SubsumeClass[I1]]) {
             if (I1 == I2)
               continue;
             CommEntry &C2 = Plan.Entries[I2];
             if (C2.Eliminated)
               continue;
+            ++PairCompares;
             const Asd &A1 = asdAt(C1, Level);
             const Asd &A2 = asdAt(C2, Level);
             if (!A1.subsumedBy(A2))
@@ -774,12 +961,20 @@ private:
   }
 
   /// Intersects \p E's candidates with \p Allowed (keeps at least one slot;
-  /// callers guarantee nonempty intersection).
-  static void restrictTo(CommEntry &E, const std::vector<Slot> &Allowed) {
+  /// callers guarantee nonempty intersection). Membership tests run against
+  /// the sorted dense ids of \p Allowed; \p E's candidate order is kept.
+  void restrictTo(CommEntry &E, const std::vector<Slot> &Allowed) {
+    ++SlotSetMerges;
+    std::vector<int> AllowedIds;
+    AllowedIds.reserve(Allowed.size());
+    for (const Slot &S : Allowed)
+      AllowedIds.push_back(slotIdOf(S));
+    std::sort(AllowedIds.begin(), AllowedIds.end());
     auto &Cand = E.Candidates;
     std::vector<Slot> Kept;
     for (const Slot &S : Cand)
-      if (std::find(Allowed.begin(), Allowed.end(), S) != Allowed.end())
+      if (std::binary_search(AllowedIds.begin(), AllowedIds.end(),
+                             slotIdOf(S)))
         Kept.push_back(S);
     if (!Kept.empty())
       Cand = std::move(Kept);
@@ -826,30 +1021,66 @@ private:
                 return CA != CB ? CA < CB : A[0] < B[0];
               });
 
-    auto countAt = [&](const CommEntry &E, const Slot &S) {
-      int Count = 0;
-      for (const CommEntry &O : Plan.Entries) {
-        if (O.Id == E.Id || O.Eliminated)
-          continue;
-        if (std::find(O.Candidates.begin(), O.Candidates.end(), S) ==
-            O.Candidates.end())
-          continue;
-        if (O.M.compatibleWith(E.M))
-          ++Count;
+    // Live candidate counts per (slot, compatibility class), maintained as
+    // units pin their slots: countAt(E, S) = how many *other* live entries
+    // of E's class currently list S. compatibleWith partitions non-General
+    // entries into exactly these classes (General never matches, and its
+    // unique class only ever holds E itself, which the self-term removes),
+    // so the count equals the original per-entry scan.
+    int NumSlots = Ctx.G.numSlots();
+    // Flat [slot][class] count matrix: one allocation, cache-friendly rows.
+    std::vector<int> ClassCount(
+        static_cast<size_t>(NumSlots) * NumCompatClasses, 0);
+    auto cellOf = [&](int SlotId, int Cls) -> int & {
+      return ClassCount[static_cast<size_t>(SlotId) * NumCompatClasses + Cls];
+    };
+    std::vector<std::vector<int>> SortedCand(Plan.Entries.size());
+    for (const CommEntry &E : Plan.Entries) {
+      if (E.Eliminated)
+        continue;
+      for (const Slot &S : E.Candidates) {
+        int Id = slotIdOf(S);
+        cellOf(Id, CompatClass[E.Id])++;
+        SortedCand[E.Id].push_back(Id);
       }
+      std::sort(SortedCand[E.Id].begin(), SortedCand[E.Id].end());
+    }
+    auto countAt = [&](const CommEntry &E, const Slot &S) {
+      ++PairCompares;
+      int Id = slotIdOf(S);
+      int Count = cellOf(Id, CompatClass[E.Id]);
+      // Exclude E itself when it still lists S.
+      if (std::binary_search(SortedCand[E.Id].begin(),
+                             SortedCand[E.Id].end(), Id))
+        --Count;
       return Count;
+    };
+    // Pins entry E to exactly \p S, keeping the counts in sync.
+    auto pinTo = [&](CommEntry &E, const Slot &S) {
+      int Cls = CompatClass[E.Id];
+      for (int Id : SortedCand[E.Id])
+        cellOf(Id, Cls)--;
+      int SId = slotIdOf(S);
+      cellOf(SId, Cls)++;
+      SortedCand[E.Id] = {SId};
+      E.Candidates = {S};
+      E.Chosen = S;
     };
 
     for (const std::vector<int> &Unit : Work) {
-      // Common candidate slots of the unit.
+      // Common candidate slots of the unit: filter the first member's list
+      // in place (its order is preserved) against a dense mark of each
+      // later member's list.
+      SlotMarks.ensure(NumSlots);
       std::vector<Slot> Common = Plan.Entries[Unit[0]].Candidates;
       for (size_t I = 1; I < Unit.size(); ++I) {
-        const auto &Cand = Plan.Entries[Unit[I]].Candidates;
+        ++SlotSetMerges;
+        SlotMarks.reset();
+        for (const Slot &S : Plan.Entries[Unit[I]].Candidates)
+          SlotMarks.set(slotIdOf(S), 1);
         Common.erase(std::remove_if(Common.begin(), Common.end(),
                                     [&](const Slot &S) {
-                                      return std::find(Cand.begin(),
-                                                       Cand.end(),
-                                                       S) == Cand.end();
+                                      return !SlotMarks.get(slotIdOf(S));
                                     }),
                      Common.end());
       }
@@ -859,12 +1090,13 @@ private:
       if (Common.empty() && Unit.size() > 1) {
         Common = Plan.Entries[Unit[0]].OriginalCandidates;
         for (size_t I = 1; I < Unit.size(); ++I) {
-          const auto &Cand = Plan.Entries[Unit[I]].OriginalCandidates;
+          ++SlotSetMerges;
+          SlotMarks.reset();
+          for (const Slot &S : Plan.Entries[Unit[I]].OriginalCandidates)
+            SlotMarks.set(slotIdOf(S), 1);
           Common.erase(std::remove_if(Common.begin(), Common.end(),
                                       [&](const Slot &S) {
-                                        return std::find(Cand.begin(),
-                                                         Cand.end(),
-                                                         S) == Cand.end();
+                                        return !SlotMarks.get(slotIdOf(S));
                                       }),
                        Common.end());
         }
@@ -874,11 +1106,8 @@ private:
       if (Common.empty()) {
         for (int Id : Unit)
           Common.push_back(Plan.Entries[Id].Candidates.front());
-        for (size_t I = 0; I != Unit.size(); ++I) {
-          CommEntry &E = Plan.Entries[Unit[I]];
-          E.Candidates = {Common[I]};
-          E.Chosen = Common[I];
-        }
+        for (size_t I = 0; I != Unit.size(); ++I)
+          pinTo(Plan.Entries[Unit[I]], Common[I]);
         continue;
       }
       Slot BestSlot = Common.front();
@@ -893,10 +1122,8 @@ private:
           BestSlot = S;
         }
       }
-      for (int Id : Unit) {
-        Plan.Entries[Id].Candidates = {BestSlot};
-        Plan.Entries[Id].Chosen = BestSlot;
-      }
+      for (int Id : Unit)
+        pinTo(Plan.Entries[Id], BestSlot);
     }
   }
 
@@ -991,7 +1218,20 @@ private:
 
   const AnalysisContext &Ctx;
   const PlacementOptions &Opts;
-  std::map<std::pair<int, int>, Asd> AsdCache;
+  /// Per-entry, per-nesting-level abstract section descriptors, computed on
+  /// first use ([entry id][level]).
+  std::vector<std::vector<std::unique_ptr<Asd>>> AsdCache;
+  /// Pattern-class ids per entry (see computeClasses).
+  std::vector<int> CompatClass;
+  std::vector<int> SubsumeClass;
+  int NumCompatClasses = 0;
+  /// Scratch tables reused across the indexed passes.
+  DenseTable SlotMarks;
+  /// Instrumentation: pairwise comparisons actually performed by the
+  /// subset/redundancy/combining scans, and sorted-id set merges.
+  int64_t PairCompares = 0;
+  int64_t SlotSetMerges = 0;
+  uint64_t DomQueriesStart = 0;
 };
 
 } // namespace

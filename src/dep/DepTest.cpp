@@ -64,10 +64,9 @@ int DepTester::commonNestingLevel(const AssignStmt *A,
 bool DepTester::constRange(const AffineExpr &E, int64_t &Min,
                            int64_t &Max) const {
   Min = Max = E.constPart();
-  for (int V : E.vars()) {
+  for (const auto &[V, C] : E.terms()) {
     if (V >= static_cast<int>(VarBoundsKnown.size()) || !VarBoundsKnown[V])
       return false;
-    int64_t C = E.coeff(V);
     int64_t Lo = VarBounds[V].first, Hi = VarBounds[V].second;
     if (C >= 0) {
       Min += C * Lo;
@@ -109,13 +108,13 @@ static SubLattice latticeOf(const Subscript &S, ConstRangeFn CR,
   const AffineExpr &E = S.Lo;
   L.Base = E.constPart();
   int64_t M = S.isRange() ? std::llabs(S.Step) : 0;
-  for (int V : E.vars()) {
+  for (const auto &[V, C] : E.terms()) {
     int64_t Step, Lo;
     bool LoKnown;
     VarInfo(V, Step, LoKnown, Lo);
-    M = std::gcd(M, std::llabs(E.coeff(V) * Step));
+    M = std::gcd(M, std::llabs(C * Step));
     if (LoKnown)
-      L.Base += E.coeff(V) * Lo;
+      L.Base += C * Lo;
     else
       L.BaseKnown = false;
   }
@@ -147,11 +146,17 @@ bool DepTester::directionConstraints(const AssignStmt *Def,
   int CNL = commonNestingLevel(Def, Use);
   Out.assign(static_cast<size_t>(CNL), DirConstraint());
 
-  // Map: common loop level (0-based) -> loop variable id.
+  // Common loop level (0-based) -> loop variable id, read off the def's
+  // nest on demand (the scan is over at most CNL levels, so a side table
+  // would cost more to build than it saves).
   const std::vector<int> &Nest = G.loopNestOf(Def);
-  std::vector<int> LevelVar(static_cast<size_t>(CNL));
-  for (int L = 0; L != CNL; ++L)
-    LevelVar[L] = G.loop(Nest[L]).L->var();
+  auto levelOfVar = [&](int V) {
+    int Level = -1;
+    for (int L = 0; L != CNL; ++L)
+      if (G.loop(Nest[L]).L->var() == V)
+        Level = L;
+    return Level;
+  };
 
   auto CR = [this](const AffineExpr &E, int64_t &Min, int64_t &Max) {
     return constRange(E, Min, Max);
@@ -171,21 +176,17 @@ bool DepTester::directionConstraints(const AssignStmt *Def,
       int64_t Delta;
       if (SD.Lo.constDifference(SU.Lo, Delta)) {
         // Same variable part. Which common level does it bind?
-        std::vector<int> Vars = SD.Lo.vars();
-        if (Vars.empty()) {
+        const auto &Terms = SD.Lo.terms();
+        if (Terms.empty()) {
           // ZIV: constants must match.
           if (Delta != 0)
             return false;
           continue;
         }
-        if (Vars.size() == 1) {
-          int V = Vars[0];
-          int Level = -1;
-          for (int L = 0; L != CNL; ++L)
-            if (LevelVar[L] == V)
-              Level = L;
+        if (Terms.size() == 1) {
+          int Level = levelOfVar(Terms[0].first);
           if (Level >= 0) {
-            int64_t A = SD.Lo.coeff(V);
+            int64_t A = Terms[0].second;
             // a*xd + cd = a*xu + cu  =>  xu - xd = (cd - cu) / a = Delta / a.
             if (Delta % A != 0)
               return false; // No integer solution.
@@ -235,55 +236,52 @@ bool DepTester::directionConstraints(const AssignStmt *Def,
   return true;
 }
 
+DepDirs DepTester::flowDirections(const AssignStmt *Def,
+                                  const AssignStmt *Use,
+                                  const ArrayRef &UseRef) const {
+  DepDirs Out;
+  flowDirections(Def, Use, UseRef, Out);
+  return Out;
+}
+
+void DepTester::flowDirections(const AssignStmt *Def, const AssignStmt *Use,
+                               const ArrayRef &UseRef, DepDirs &Out) const {
+  Out.CNL = commonNestingLevel(Def, Use);
+  Out.TextBefore = G.preorderOf(Def) < G.preorderOf(Use);
+  Out.Possible = directionConstraints(Def, Use, UseRef, Out.Dirs);
+  if (!Out.Possible)
+    Out.Dirs.clear();
+}
+
 bool DepTester::carriedAt(const AssignStmt *Def, const AssignStmt *Use,
                           const ArrayRef &UseRef, int Level) const {
   assert(Level >= 1 && "carried levels are 1-based");
   if (Level > commonNestingLevel(Def, Use))
     return false;
-  std::vector<DirConstraint> Dirs;
-  if (!directionConstraints(Def, Use, UseRef, Dirs))
-    return false;
-  // (=, ..., =, <) prefix feasible with '<' at Level.
-  bool Carried = true;
-  for (int L = 0; L + 1 < Level; ++L)
-    Carried &= Dirs[L].Eq;
-  Carried &= Dirs[Level - 1].Lt;
-  return Carried;
+  return carriedFromDirs(flowDirections(Def, Use, UseRef), Level);
 }
 
 bool DepTester::loopIndependent(const AssignStmt *Def, const AssignStmt *Use,
                                 const ArrayRef &UseRef) const {
   if (G.preorderOf(Def) >= G.preorderOf(Use))
     return false;
-  std::vector<DirConstraint> Dirs;
-  if (!directionConstraints(Def, Use, UseRef, Dirs))
-    return false;
-  for (const DirConstraint &D : Dirs)
-    if (!D.Eq)
-      return false;
-  return true;
+  return loopIndependentFromDirs(flowDirections(Def, Use, UseRef));
 }
 
 bool DepTester::isArrayDep(const AssignStmt *Def, const AssignStmt *Use,
                            const ArrayRef &UseRef, int Level) const {
   assert(Level >= 1 && "IsArrayDep levels are 1-based");
-  int CNL = commonNestingLevel(Def, Use);
-  if (Level > CNL)
+  DepDirs D = flowDirections(Def, Use, UseRef);
+  if (Level > D.CNL)
     return false; // Figure 8(d): l > CNL(d, u) -> FALSE.
-
-  if (carriedAt(Def, Use, UseRef, Level))
-    return true;
-
-  // A loop-independent dependence pins communication inside the common
-  // nest (level CNL).
-  return Level == CNL && loopIndependent(Def, Use, UseRef);
+  // Carried at Level, or a loop-independent dependence pinning
+  // communication inside the common nest (level CNL).
+  return carriedFromDirs(D, Level) ||
+         (Level == D.CNL && loopIndependentFromDirs(D));
 }
 
 int DepTester::depLevel(const AssignStmt *Def, const AssignStmt *Use,
                         const ArrayRef &UseRef) const {
-  int CNL = commonNestingLevel(Def, Use);
-  for (int L = CNL; L >= 1; --L)
-    if (isArrayDep(Def, Use, UseRef, L))
-      return L;
-  return 0;
+  return depLevelFromDirs(flowDirections(Def, Use, UseRef));
 }
+

@@ -42,9 +42,61 @@ struct DirConstraint {
   void intersectSingle(int Sign); // Sign<0 -> Gt only, 0 -> Eq, >0 -> Lt.
 };
 
+/// The complete direction summary of one (def, use-ref) pair: everything the
+/// level predicates below derive, from a single directionConstraints pass.
+/// Hot loops (the Earliest barrier walk, the audit's intervening-def scan)
+/// fetch one summary per pair instead of re-solving the subscripts once per
+/// level.
+struct DepDirs {
+  bool Possible = false;   ///< Dependence not provably absent.
+  bool TextBefore = false; ///< Def textually precedes the use.
+  int CNL = 0;             ///< Common nesting level of the pair.
+  std::vector<DirConstraint> Dirs; ///< Per-level constraints; size CNL.
+};
+
 class DepTester {
 public:
   explicit DepTester(const Cfg &G);
+
+  /// Solves the pair once and bundles the per-level constraints with the
+  /// textual order; all level predicates are pure functions of the result.
+  DepDirs flowDirections(const AssignStmt *Def, const AssignStmt *Use,
+                         const ArrayRef &UseRef) const;
+
+  /// In-place variant: overwrites \p Out, reusing its Dirs capacity. Hot
+  /// loops keep one scratch DepDirs alive across thousands of pairs to stay
+  /// allocation-free.
+  void flowDirections(const AssignStmt *Def, const AssignStmt *Use,
+                      const ArrayRef &UseRef, DepDirs &Out) const;
+
+  /// carriedAt derived from a precomputed summary.
+  static bool carriedFromDirs(const DepDirs &D, int Level) {
+    if (!D.Possible || Level < 1 || Level > D.CNL)
+      return false;
+    for (int L = 0; L + 1 < Level; ++L)
+      if (!D.Dirs[L].Eq)
+        return false;
+    return D.Dirs[Level - 1].Lt;
+  }
+
+  /// loopIndependent derived from a precomputed summary.
+  static bool loopIndependentFromDirs(const DepDirs &D) {
+    if (!D.Possible || !D.TextBefore)
+      return false;
+    for (const DirConstraint &C : D.Dirs)
+      if (!C.Eq)
+        return false;
+    return true;
+  }
+
+  /// depLevel derived from a precomputed summary.
+  static int depLevelFromDirs(const DepDirs &D) {
+    for (int L = D.CNL; L >= 1; --L)
+      if (carriedFromDirs(D, L) ||
+          (L == D.CNL && loopIndependentFromDirs(D)))
+        return L;
+    return 0;
+  }
 
   /// Figure 8(d)'s IsArrayDep(d, u, Level). \p Def writes the same array
   /// \p UseRef reads (callers guarantee this); \p Level is 1-based.

@@ -54,6 +54,10 @@ public:
   /// \returns the ids of all variables with nonzero coefficients.
   std::vector<int> vars() const;
 
+  /// The (variable id, coefficient) terms, sorted by variable id. The
+  /// allocation-free view the dependence tester's hot loops iterate.
+  const std::vector<std::pair<int, int64_t>> &terms() const { return Terms; }
+
   /// Number of distinct variables in the expression.
   unsigned numVars() const { return static_cast<unsigned>(Terms.size()); }
 

@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "FuzzGen.h"
 #include "cfg/DomTree.h"
 #include "frontend/Parser.h"
 #include "xform/Scalarize.h"
@@ -280,4 +281,82 @@ end
   for (unsigned N = 0; N != G.numNodes(); ++N)
     Dominated += DT.dominates(G.entry(), static_cast<int>(N));
   EXPECT_EQ(Dominated, static_cast<int>(G.numNodes()));
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized dominance oracle: the O(1) interval test and the O(log n)
+// common-dominator lifting must agree with the chain-walk references on
+// arbitrary digraphs, including self-loops, multi-edges, and unreachable
+// nodes that no structured program produces.
+//===----------------------------------------------------------------------===//
+
+TEST(DomTreeOracle, RandomGraphsMatchChainWalkReference) {
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    fuzzgen::Rng Rand(Seed);
+    int N = Rand.range(2, 48);
+    std::vector<std::vector<int>> Succs(N);
+    for (int U = 0; U != N; ++U) {
+      int K = Rand.range(0, 3);
+      for (int J = 0; J != K; ++J)
+        Succs[U].push_back(Rand.range(0, N - 1));
+    }
+    DomTree DT = DomTree::computeFromSuccessors(Succs, /*Entry=*/0);
+
+    // Independent reachability by DFS over the successor lists.
+    std::vector<char> Reach(N, 0);
+    std::vector<int> Work{0};
+    while (!Work.empty()) {
+      int U = Work.back();
+      Work.pop_back();
+      if (Reach[U])
+        continue;
+      Reach[U] = 1;
+      for (int V : Succs[U])
+        Work.push_back(V);
+    }
+
+    for (int U = 0; U != N; ++U) {
+      ASSERT_EQ(DT.reachable(U), static_cast<bool>(Reach[U]))
+          << "seed " << Seed << " node " << U;
+      ASSERT_TRUE(DT.dominates(U, U)) << "seed " << Seed; // Reflexive.
+      if (Reach[U]) {
+        ASSERT_TRUE(DT.dominates(0, U)) << "seed " << Seed << " node " << U;
+      }
+    }
+
+    for (int A = 0; A != N; ++A)
+      for (int B = 0; B != N; ++B) {
+        if (Reach[A] && Reach[B]) {
+          ASSERT_EQ(DT.dominates(A, B), DT.dominatesLinear(A, B))
+              << "seed " << Seed << " pair (" << A << "," << B << ")";
+          ASSERT_EQ(DT.commonDominator(A, B), DT.commonDominatorLinear(A, B))
+              << "seed " << Seed << " pair (" << A << "," << B << ")";
+        } else {
+          // Unreachable nodes dominate (and are dominated by) only
+          // themselves.
+          ASSERT_EQ(DT.dominates(A, B), A == B)
+              << "seed " << Seed << " pair (" << A << "," << B << ")";
+        }
+      }
+  }
+}
+
+TEST(DomTreeOracle, DeepChainExercisesBinaryLifting) {
+  // A long spine with random shortcut edges: depths in the hundreds force
+  // multi-level jumps through the Up table.
+  fuzzgen::Rng Rand(7);
+  int N = 400;
+  std::vector<std::vector<int>> Succs(N);
+  for (int U = 0; U + 1 < N; ++U)
+    Succs[U].push_back(U + 1);
+  for (int E = 0; E != 80; ++E)
+    Succs[Rand.range(0, N - 1)].push_back(Rand.range(0, N - 1));
+  DomTree DT = DomTree::computeFromSuccessors(Succs, 0);
+  for (int T = 0; T != 4000; ++T) {
+    int A = Rand.range(0, N - 1), B = Rand.range(0, N - 1);
+    ASSERT_EQ(DT.dominates(A, B), DT.dominatesLinear(A, B))
+        << "pair (" << A << "," << B << ")";
+    ASSERT_EQ(DT.commonDominator(A, B), DT.commonDominatorLinear(A, B))
+        << "pair (" << A << "," << B << ")";
+  }
 }

@@ -28,6 +28,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "FuzzGen.h"
 #include "analysis/PlanAudit.h"
 #include "driver/CachedPipeline.h"
 #include "driver/Compile.h"
@@ -39,99 +40,7 @@
 #include <gtest/gtest.h>
 
 using namespace gca;
-
-namespace {
-
-/// Small deterministic PRNG (SplitMix64).
-class Rng {
-public:
-  explicit Rng(uint64_t Seed) : State(Seed * 2654435761u + 12345) {}
-  uint64_t next() {
-    State += 0x9e3779b97f4a7c15ull;
-    uint64_t Z = State;
-    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
-    return Z ^ (Z >> 31);
-  }
-  int range(int Lo, int Hi) { // Inclusive.
-    return Lo + static_cast<int>(next() % (Hi - Lo + 1));
-  }
-  bool chance(int Percent) { return range(1, 100) <= Percent; }
-
-private:
-  uint64_t State;
-};
-
-/// Generates one random HPF-lite program.
-std::string generateProgram(uint64_t Seed) {
-  Rng R(Seed);
-  int NumArrays = R.range(3, 6);
-  int N = 10; // Small: verification is element-granular.
-
-  std::string Src = "program fuzz\nparam n = " + std::to_string(N) + "\n";
-  std::vector<std::string> Arrays;
-  for (int A = 0; A != NumArrays; ++A) {
-    std::string Name = strFormat("a%d", A);
-    Arrays.push_back(Name);
-    Src += "real " + Name + "(n,n) distribute (block,block)\n";
-  }
-  Src += "real s\nbegin\n";
-  for (const std::string &A : Arrays)
-    Src += "  " + A + " = 1\n";
-
-  auto Ref = [&](const std::string &Name, int Di, int Dj) {
-    // Interior section shifted by (Di, Dj), conforming with lhs (3:n-2,...).
-    return strFormat("%s(%d:n-%d,%d:n-%d)", Name.c_str(), 3 + Di, 2 - Di,
-                     3 + Dj, 2 - Dj);
-  };
-
-  int Stmts = R.range(3, 7);
-  bool InLoop = R.chance(80);
-  std::string Pad = "  ";
-  if (InLoop) {
-    Src += "  do t = 1, 2\n";
-    Pad = "    ";
-  }
-  int OpenIf = 0;
-  for (int S = 0; S != Stmts; ++S) {
-    if (OpenIf == 0 && R.chance(20)) {
-      Src += Pad + "if (c" + std::to_string(S) + ") then\n";
-      Pad += "  ";
-      OpenIf = R.range(1, 2); // Statements left inside the branch.
-    }
-    int Lhs = R.range(0, NumArrays - 1);
-    if (R.chance(12)) {
-      // A reduction over a random array's row.
-      Src += Pad + strFormat("s = sum(%s(%d,1:n))\n",
-                             Arrays[R.range(0, NumArrays - 1)].c_str(),
-                             R.range(1, N));
-    } else {
-      int Terms = R.range(1, 3);
-      std::string Stmt =
-          Pad + strFormat("a%d(3:n-2,3:n-2) = ", Lhs);
-      for (int T = 0; T != Terms; ++T) {
-        int Rhs = R.range(0, NumArrays - 1);
-        int Di = R.range(-2, 2), Dj = R.range(-2, 2);
-        if (T)
-          Stmt += " + ";
-        Stmt += Ref(Arrays[Rhs], Di, Dj);
-      }
-      Src += Stmt + "\n";
-    }
-    if (OpenIf > 0 && --OpenIf == 0) {
-      Pad = Pad.substr(2);
-      Src += Pad + "end if\n";
-    }
-  }
-  if (OpenIf > 0)
-    Src += Pad.substr(2) + "end if\n";
-  if (InLoop)
-    Src += "  end do\n";
-  Src += "end\n";
-  return Src;
-}
-
-} // namespace
+using fuzzgen::generateProgram;
 
 class Fuzz : public ::testing::TestWithParam<int> {};
 

@@ -37,8 +37,10 @@
 #include "support/StrUtil.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
+#include "workloads/Synth.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +64,16 @@ struct ToolOptions {
   bool Workloads = false;
   bool VerifyDeterminism = false;
   bool PrintPlans = true;
+  /// Append each routine's placement decision log to the deterministic
+  /// output (requires uncached compilation: decision logs are not cached).
+  bool DumpDecisions = false;
+  /// Compile every input this many times; the deterministic output must be
+  /// identical across repeats, and --time-report=json gains min/median wall
+  /// time over the runs so bench numbers stop jittering.
+  int Repeat = 1;
+  /// --synth=N: also compile a generated workload with N statement nests.
+  int SynthNests = 0;
+  uint64_t SynthSeed = 1;
   /// Cache spec: empty = disabled, "mem" = memory tier only, anything else
   /// is the disk-tier directory (memory tier in front of it).
   std::string CacheSpec;
@@ -97,7 +109,11 @@ struct Output {
   bool CacheHit = false;
 };
 
-Output compileOne(const Input &In, const ToolOptions &Opts) {
+/// One compilation of \p In. \p PrevWalls is non-null only on the last run
+/// of a --repeat series: the wall times of the earlier runs, so the timing
+/// report can include min/median over the whole series.
+Output compileOneRun(const Input &In, const ToolOptions &Opts,
+                     const std::vector<double> *PrevWalls) {
   Output Out;
   TraceSpan Span("compile", "driver", {{"input", In.Name}});
   auto Start = std::chrono::steady_clock::now();
@@ -128,6 +144,9 @@ Output compileOne(const Input &In, const ToolOptions &Opts) {
   // bytes, so cache hits are bitwise-identical to cold runs.
   if (Opts.PrintPlans)
     D += R.planText();
+  if (Opts.DumpDecisions)
+    for (const RoutineResult &RR : R.Routines)
+      D += "-- decisions: " + RR.R->name() + " --\n" + RR.Plan.decisionsStr();
   for (const auto &[Pass, Dump] : S.Dumps)
     D += "-- dump after " + Pass + " --\n" + Dump;
   if (!R.Diagnostics.empty())
@@ -136,6 +155,18 @@ Output compileOne(const Input &In, const ToolOptions &Opts) {
     D += S.Stats.str();
   if (!R.AuditOk)
     Out.Failed = true;
+
+  // Min/median wall time over a --repeat series (this run included).
+  double WallMin = WallSec, WallMedian = WallSec;
+  if (PrevWalls && !PrevWalls->empty()) {
+    std::vector<double> All = *PrevWalls;
+    All.push_back(WallSec);
+    std::sort(All.begin(), All.end());
+    WallMin = All.front();
+    size_t N = All.size();
+    WallMedian =
+        N % 2 ? All[N / 2] : (All[N / 2 - 1] + All[N / 2]) / 2;
+  }
 
   if (Opts.TimeReportJson) {
     // JsonWriter escapes the input name — file names containing quotes or
@@ -147,6 +178,11 @@ Output compileOne(const Input &In, const ToolOptions &Opts) {
       W.key("cache_hit").value(CacheHit);
       W.key("wall_s").value(WallSec);
     }
+    if (Opts.Repeat > 1) {
+      W.key("repeats").value(static_cast<int64_t>(Opts.Repeat));
+      W.key("wall_min_s").value(WallMin);
+      W.key("wall_median_s").value(WallMedian);
+    }
     W.key("report").raw(S.timeReportJson());
     W.endObject();
     Out.Timing = W.str() + "\n";
@@ -155,9 +191,53 @@ Output compileOne(const Input &In, const ToolOptions &Opts) {
     if (Opts.Cache)
       Out.Timing += strFormat("  cache %s, %.6f s wall\n",
                               CacheHit ? "hit" : "miss", WallSec);
+    if (Opts.Repeat > 1)
+      Out.Timing += strFormat("  repeats %d, min %.6f s, median %.6f s\n",
+                              Opts.Repeat, WallMin, WallMedian);
     Out.Timing += S.timeReport();
   }
   return Out;
+}
+
+/// compileOneRun, --repeat times. Every repeat is a fresh Session; the
+/// deterministic output must be identical across the series (plans must not
+/// depend on run-to-run state), and the last run's timing report carries
+/// min/median wall time over all runs.
+Output compileOne(const Input &In, const ToolOptions &Opts) {
+  int Repeat = Opts.Repeat < 1 ? 1 : Opts.Repeat;
+  if (Repeat == 1)
+    return compileOneRun(In, Opts, nullptr);
+  std::vector<double> Walls;
+  Output First;
+  for (int Run = 0; Run != Repeat; ++Run) {
+    bool Last = Run == Repeat - 1;
+    Output Cur = compileOneRun(In, Opts, Last ? &Walls : nullptr);
+    Walls.push_back(Cur.WallSec);
+    if (Run == 0) {
+      First = std::move(Cur);
+      continue;
+    }
+    if (Cur.Deterministic != First.Deterministic) {
+      std::fprintf(stderr,
+                   "error: output for '%s' differs between repeat 1 and "
+                   "repeat %d\n",
+                   In.Name.c_str(), Run + 1);
+      First.Failed = true;
+    }
+    if (Last) {
+      // Keep the final run's timing/counters; report the series median as
+      // the batch-level wall time so metrics aggregate stable numbers.
+      First.Timing = std::move(Cur.Timing);
+      First.Counters = std::move(Cur.Counters);
+      First.CacheHit = Cur.CacheHit;
+      std::vector<double> Sorted = Walls;
+      std::sort(Sorted.begin(), Sorted.end());
+      size_t N = Sorted.size();
+      First.WallSec =
+          N % 2 ? Sorted[N / 2] : (Sorted[N / 2 - 1] + Sorted[N / 2]) / 2;
+    }
+  }
+  return First;
 }
 
 /// Compiles every input with \p Jobs workers; outputs land in input order.
@@ -183,12 +263,23 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s [options] [files.hpf...]\n"
       "  --workloads            also compile every built-in workload\n"
+      "  --synth=N              also compile a generated workload with N\n"
+      "                         statement nests (deterministic from the "
+      "seed)\n"
+      "  --synth-seed=S         seed for --synth (default 1)\n"
+      "  --repeat=N             compile each input N times; plans must be\n"
+      "                         identical, timing reports gain min/median "
+      "wall\n"
+      "  --dump-decisions       append each routine's placement decision "
+      "log\n"
+      "                         (incompatible with --cache)\n"
       "  --jobs N, -j N         compile N inputs concurrently (default 1)\n"
       "  --stats                print the counter registry per input\n"
       "  --time-report[=json]   per-pass timing (and counter) report\n"
       "  --dump-after=PASS      dump program/plans after PASS (or 'all')\n"
       "  --strategy=NAME        orig|nored|comb|optimal|earlycomb\n"
       "  --no-scalarize --fuse --audit --no-audit --lint --no-lint\n"
+      "  --defer-reductions --partial-redundancy\n"
       "  --no-plans             suppress plan printing\n"
       "  -p name=value          override a param declaration\n"
       "  --verify-determinism   recompile serially and require identical "
@@ -221,6 +312,19 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg == "--workloads") {
       Opts.Workloads = true;
+    } else if (Arg.rfind("--synth=", 0) == 0) {
+      Opts.SynthNests =
+          static_cast<int>(std::strtol(Arg.c_str() + 8, nullptr, 10));
+      if (Opts.SynthNests <= 0)
+        return usage(argv[0]);
+    } else if (Arg.rfind("--synth-seed=", 0) == 0) {
+      Opts.SynthSeed = std::strtoull(Arg.c_str() + 13, nullptr, 10);
+    } else if (Arg.rfind("--repeat=", 0) == 0) {
+      Opts.Repeat = static_cast<int>(std::strtol(Arg.c_str() + 9, nullptr, 10));
+      if (Opts.Repeat < 1)
+        return usage(argv[0]);
+    } else if (Arg == "--dump-decisions") {
+      Opts.DumpDecisions = true;
     } else if (Arg == "--jobs" || Arg == "-j") {
       if (I + 1 >= argc)
         return usage(argv[0]);
@@ -252,6 +356,10 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--no-scalarize") {
       Opts.Compile.Scalarize = false;
+    } else if (Arg == "--defer-reductions") {
+      Opts.Compile.Placement.DeferReductions = true;
+    } else if (Arg == "--partial-redundancy") {
+      Opts.Compile.Placement.PartialRedundancy = true;
     } else if (Arg == "--fuse") {
       Opts.Compile.FuseLoops = true;
     } else if (Arg == "--audit") {
@@ -326,8 +434,20 @@ int main(int argc, char **argv) {
   if (Opts.Workloads)
     for (const Workload *W : allWorkloads())
       Inputs.push_back({W->Name, W->Source});
+  if (Opts.SynthNests > 0) {
+    SynthSpec Spec;
+    Spec.Nests = Opts.SynthNests;
+    Spec.Seed = Opts.SynthSeed;
+    Inputs.push_back({synthName(Spec), synthSource(Spec)});
+  }
   if (Inputs.empty())
     return usage(argv[0]);
+
+  if (Opts.DumpDecisions && !Opts.CacheSpec.empty()) {
+    std::fprintf(stderr, "error: --dump-decisions requires uncached "
+                         "compilation (decision logs are not cached)\n");
+    return 2;
+  }
 
   std::unique_ptr<ResultCache> Cache;
   if (!Opts.CacheSpec.empty()) {
