@@ -38,8 +38,15 @@ WARN_THRESHOLDS = {
     "synth.n400.audit_ns": 2.0,
     "synth.n400.placement_plus_audit_ns": 2.0,
     "synth.n400.wall_ns": 2.0,
+    "synth.n400.verify_ns": 2.0,
+    "synth.n400.verified_wall_ns": 2.0,
 }
 DEFAULT_WARN = 1.5
+
+# The translation-validation verifier must stay cheap relative to the
+# compilation it validates: verify_ns <= this fraction of the unverified
+# synth wall time (checked within the current run, independent of baseline).
+VERIFY_OVERHEAD_LIMIT = 0.25
 
 # Counters that must match the baseline bit-for-bit.
 EXACT_KEYS = {"synth.n400.entries"}
@@ -118,6 +125,21 @@ def main():
                 verdict = "FAIL"
         print(f"  {verdict:<6} {key} ratio {ratio:.2f} "
               f"(current {c}, baseline {b})")
+
+    # Verifier overhead: gated within the current run so it holds on any
+    # machine, not just relative to the baseline's.
+    verify_ns = cur.get("synth.n400.verify_ns")
+    wall_ns = cur.get("synth.n400.wall_ns")
+    if verify_ns is not None and wall_ns:
+        overhead = verify_ns / wall_ns
+        if overhead > VERIFY_OVERHEAD_LIMIT:
+            failures.append(
+                f"synth.n400.verify_ns: {verify_ns} is {overhead:.0%} of "
+                f"synth.n400.wall_ns {wall_ns} "
+                f"(limit {VERIFY_OVERHEAD_LIMIT:.0%})")
+        else:
+            print(f"  ok     verify overhead {overhead:.1%} of synth wall "
+                  f"(limit {VERIFY_OVERHEAD_LIMIT:.0%})")
 
     for w in warnings:
         print(f"bench_gate: warning: {w}")

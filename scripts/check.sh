@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Full local check, in three stages:
+# Full local check, in four stages:
 #   1. regular build + the whole ctest suite (use `ctest -L tier1` by hand
 #      for the fast gate);
-#   2. ASan/UBSan build + the whole suite;
-#   3. TSan build of the parallel batch driver, verifying that an 8-way
+#   2. Debug build with the translation validator between every pass
+#      (--verify=each) over examples/ and the built-in workloads, plus the
+#      fuzz shards (which use the verifier as their plan oracle);
+#   3. ASan/UBSan build + the whole suite;
+#   4. TSan build of the parallel batch driver, verifying that an 8-way
 #      compile of every built-in workload is race-free and bitwise equal to
 #      a serial run, that the shared result cache is race-free and
 #      single-flight under 8-way duplicated inputs, and that the trace
@@ -19,6 +22,18 @@ echo "== regular build =="
 cmake -B build -S . "$@"
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== verifier build (Debug, --verify=each) =="
+# Debug build so every assert is live, then the structural IR verifier and
+# the independent availability dataflow run between every pass over each
+# example and built-in workload. The fuzz shards re-run here too: each seed
+# already calls the verifier as its plan oracle, so this exercises it across
+# all 120 fuzz plans with asserts on.
+cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug "$@"
+cmake --build build-debug -j "$JOBS" --target gca-compile gca_fuzz_tests
+build-debug/tools/gca-compile --workloads examples/*.hpf --audit --lint \
+  --verify=each --stats > /dev/null
+ctest --test-dir build-debug -L fuzz --output-on-failure -j "$JOBS"
 
 echo "== sanitizer build (address;undefined) =="
 cmake -B build-asan -S . -DGCA_SANITIZE="address;undefined" "$@"

@@ -7,6 +7,7 @@
 
 #include "analysis/CommLint.h"
 
+#include "analysis/AvailDataflow.h"
 #include "support/StrUtil.h"
 
 #include <functional>
@@ -35,6 +36,7 @@ public:
     checkSubscriptRanges();
     checkUnusedArrays();
     checkNoCommBenefit();
+    checkDeadComm();
     return NumWarnings;
   }
 
@@ -269,6 +271,38 @@ private:
                    "vectorization in '%s' (%d messages either way); "
                    "consider restructuring its loops [no-comm-benefit]",
                    Ctx.R.name().c_str(), Plan.Stats.totalGroups()));
+  }
+
+  // --- [dead-comm] --------------------------------------------------------------
+
+  /// Partially-dead communication: the availability dataflow's consumption
+  /// analysis found a genuine (at-least-one-iteration) path from a group's
+  /// placement to EXIT on which no served use reads the data — the message
+  /// is paid for on that path but never consumed. Typically an IF arm that
+  /// branches around every use of the communicated section.
+  void checkDeadComm() {
+    if (Plan.Groups.empty())
+      return;
+    AvailDataflow DF(Ctx, Plan);
+    for (int GId : DF.partiallyDeadGroups()) {
+      const CommGroup &G = Plan.Groups[GId];
+      // Cite the first member's use so the warning lands on user code.
+      SourceLoc Loc;
+      std::string Array = "?";
+      if (!G.Members.empty()) {
+        const CommEntry &E = Plan.Entries[G.Members[0]];
+        Array = Ctx.R.array(E.ArrayId).Name;
+        if (!E.Refs.empty() && E.Refs[0].Loc.isValid())
+          Loc = E.Refs[0].Loc;
+        else if (E.UseStmt)
+          Loc = E.UseStmt->loc();
+      }
+      warn(Loc, strFormat("communication for '%s' is partially dead: some "
+                          "path from its placement reaches the routine exit "
+                          "without reading the data; consider sinking it "
+                          "into the branch that uses it [dead-comm]",
+                          Array.c_str()));
+    }
   }
 
   const AnalysisContext &Ctx;

@@ -22,6 +22,10 @@
 ///  - [no-comm-benefit]: the routine's plan is no better than plain message
 ///    vectorization — nothing was eliminated or combined, suggesting the
 ///    loop structure blocks the global optimizations.
+///  - [dead-comm]: a placed communication is partially dead — the
+///    availability dataflow (analysis/AvailDataflow.h) found a genuine path
+///    from its placement to the routine exit on which no served use reads
+///    the data (typically an IF arm that skips every use).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -12,7 +12,7 @@
 
 using namespace gca;
 
-const char *const gca::kGcaCacheVersion = "gcomm-cache-1";
+const char *const gca::kGcaCacheVersion = "gcomm-cache-2";
 
 std::string gca::optionsFingerprint(const CompileOptions &Opts) {
   const PlacementOptions &P = Opts.Placement;
@@ -30,6 +30,7 @@ std::string gca::optionsFingerprint(const CompileOptions &Opts) {
   S += strFormat("scalarize=%d\n", Opts.Scalarize ? 1 : 0);
   S += strFormat("fuse-loops=%d\n", Opts.FuseLoops ? 1 : 0);
   S += strFormat("audit=%d\n", Opts.Audit ? 1 : 0);
+  S += strFormat("verify=%d\n", static_cast<int>(Opts.Verify));
   S += strFormat("lint=%d\n", Opts.Lint ? 1 : 0);
   S += "dump-after=" + Opts.DumpAfter + "\n";
   // ParamMap is an ordered map, so overrides render sorted by name no
@@ -62,6 +63,7 @@ CachedResult gca::harvestSession(Session &S) {
   CachedResult R;
   R.Ok = S.Result.Ok;
   R.AuditOk = S.Result.AuditOk;
+  R.VerifyOk = S.Result.VerifyOk;
   R.Errors = S.Result.Errors;
   // Matches Session::take(): diagnostics render only for successful runs
   // (failed runs carry them in Errors already).

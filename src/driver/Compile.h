@@ -15,6 +15,7 @@
 #ifndef GCA_DRIVER_COMPILE_H
 #define GCA_DRIVER_COMPILE_H
 
+#include "analysis/IrVerify.h"
 #include "analysis/PlanAudit.h"
 #include "core/Placement.h"
 #include "frontend/Parser.h"
@@ -26,6 +27,15 @@
 namespace gca {
 
 class ResultCache;
+
+/// How much translation validation (analysis/IrVerify.h,
+/// analysis/AvailDataflow.h) the pipeline runs.
+enum class VerifyMode : uint8_t {
+  Off,   ///< No verification.
+  Final, ///< Verify the final plans once, after placement.
+  Each,  ///< Final, plus structural IR verification after every pass that
+         ///< has a CFG/SSA to check (build-context, placement).
+};
 
 struct CompileOptions {
   PlacementOptions Placement;
@@ -45,11 +55,21 @@ struct CompileOptions {
 #else
   bool Audit = true;
 #endif
+  /// Translation validation: independently re-verify every produced plan
+  /// with the availability dataflow and the structural IR verifier;
+  /// violations land in CompileResult::Diagnostics and clear VerifyOk. Like
+  /// Audit, on by default in asserts-enabled builds.
+#ifdef NDEBUG
+  VerifyMode Verify = VerifyMode::Off;
+#else
+  VerifyMode Verify = VerifyMode::Final;
+#endif
   /// Run the communication lint rules (analysis/CommLint.h); warnings land
   /// in CompileResult::Diagnostics.
   bool Lint = false;
   /// Name of a pipeline pass ("parse", "scalarize", "fuse", "build-context",
-  /// "placement", "audit", "lint", or "all") after which the session records
+  /// "placement", "audit", "verify", "lint", or "all") after which the
+  /// session records
   /// a dump of the program and any plans (Session::Dumps). Empty = never.
   std::string DumpAfter;
 };
@@ -61,6 +81,8 @@ struct RoutineResult {
   CommPlan Plan;
   /// Populated when CompileOptions::Audit is set.
   AuditReport Audit;
+  /// Populated when CompileOptions::Verify is not Off.
+  VerifyReport Verify;
 };
 
 /// Results for one compilation.
@@ -68,6 +90,9 @@ struct CompileResult {
   bool Ok = false;
   /// False when the plan auditor found violations in some routine.
   bool AuditOk = true;
+  /// False when the translation-validation verifier found violations in
+  /// some routine (or some pass left the IR structurally broken).
+  bool VerifyOk = true;
   std::string Errors;
   /// Rendered non-fatal diagnostics (DiagEngine::str() format): frontend
   /// warnings/notes followed by audit errors and lint warnings.

@@ -7,6 +7,7 @@
 
 #include "driver/Pipeline.h"
 
+#include "analysis/AvailDataflow.h"
 #include "analysis/CommLint.h"
 #include "ir/Printer.h"
 #include "support/Json.h"
@@ -51,6 +52,25 @@ static bool passFuse(Session &S) {
   return true;
 }
 
+/// --verify=each: structurally verify every routine's CFG/SSA (and, once
+/// plans exist, the plan cross-references) right after \p PassName ran, so a
+/// pass that corrupts the IR is caught at the pass that broke it rather than
+/// at the end. Violations render as errors naming the pass.
+static void verifyAfterPass(Session &S, const char *PassName) {
+  if (S.Opts.Verify != VerifyMode::Each)
+    return;
+  for (RoutineResult &RR : S.Result.Routines) {
+    VerifyReport Rep;
+    Rep.Strat = S.Opts.Placement.Strat;
+    verifyIr(*RR.R, RR.Ctx->G, RR.Ctx->S, Rep);
+    if (!RR.Plan.Entries.empty() || !RR.Plan.Groups.empty())
+      verifyPlanIntegrity(*RR.Ctx, RR.Plan, Rep);
+    for (const VerifyViolation &V : Rep.Violations)
+      S.Diags.error(V.Loc, "after pass '%s': %s", PassName, V.str().c_str());
+    S.Result.VerifyOk = S.Result.VerifyOk && Rep.ok();
+  }
+}
+
 static bool passBuildContext(Session &S) {
   for (auto &R : S.Result.Prog->Routines) {
     ScopedTimer T(S.Times, R->name());
@@ -59,6 +79,7 @@ static bool passBuildContext(Session &S) {
     RR.Ctx = std::make_unique<AnalysisContext>(*R);
     S.Result.Routines.push_back(std::move(RR));
   }
+  verifyAfterPass(S, "build-context");
   return true;
 }
 
@@ -92,6 +113,7 @@ static bool passPlacement(Session &S) {
     RR.Plan = planCommunication(*RR.Ctx, POpts);
     traceDecisions(RR.R->name(), RR.Plan);
   }
+  verifyAfterPass(S, "placement");
   return true;
 }
 
@@ -104,6 +126,19 @@ static bool passAudit(Session &S) {
     ScopedTimer T(S.Times, RR.R->name());
     RR.Audit = auditPlan(*RR.Ctx, RR.Plan, POpts, &S.Diags);
     S.Result.AuditOk = S.Result.AuditOk && RR.Audit.ok();
+  }
+  return true;
+}
+
+static bool passVerify(Session &S) {
+  if (S.Opts.Verify == VerifyMode::Off)
+    return true;
+  PlacementOptions POpts = S.Opts.Placement;
+  POpts.Stats = &S.Stats;
+  for (RoutineResult &RR : S.Result.Routines) {
+    ScopedTimer T(S.Times, RR.R->name());
+    RR.Verify = verifyPlan(*RR.Ctx, RR.Plan, POpts, &S.Diags);
+    S.Result.VerifyOk = S.Result.VerifyOk && RR.Verify.ok();
   }
   return true;
 }
@@ -130,6 +165,7 @@ const Pipeline &Pipeline::standard() {
         .add("build-context", passBuildContext)
         .add("placement", passPlacement)
         .add("audit", passAudit)
+        .add("verify", passVerify)
         .add("lint", passLint);
     return P;
   }();
@@ -183,6 +219,7 @@ CompileResult Session::take() {
 void Session::replayResult(const CachedResult &R) {
   Result.Ok = R.Ok;
   Result.AuditOk = R.AuditOk;
+  Result.VerifyOk = R.VerifyOk;
   Result.Errors = R.Errors;
   Result.Diagnostics = R.Diagnostics;
   Result.FromCache = true;

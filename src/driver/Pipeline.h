@@ -13,10 +13,11 @@
 /// threads with no shared mutable state. A Pipeline is an ordered list of
 /// named Pass objects; the standard pipeline is
 ///
-///   parse -> scalarize -> fuse -> build-context -> placement -> audit -> lint
+///   parse -> scalarize -> fuse -> build-context -> placement -> audit
+///     -> verify -> lint
 ///
-/// where option-gated passes (scalarize, fuse, audit, lint) are no-ops when
-/// disabled, keeping pass names stable for dump-after hooks. The pipeline
+/// where option-gated passes (scalarize, fuse, audit, verify, lint) are
+/// no-ops when disabled, keeping pass names stable for dump-after hooks. The pipeline
 /// runner times every pass (wall + thread CPU), snapshots the counter
 /// registry around it so increments are attributed to the pass that made
 /// them, and records dumps after the pass named by CompileOptions::DumpAfter.

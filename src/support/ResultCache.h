@@ -70,6 +70,7 @@ struct CacheKey {
 struct CachedResult {
   bool Ok = false;
   bool AuditOk = true;
+  bool VerifyOk = true;
   std::string Errors;
   std::string Diagnostics;
   /// (routine name, rendered CommPlan::str text), in routine order.

@@ -234,6 +234,48 @@ TEST(CommLint, NoCommBenefitNegative) {
   EXPECT_EQ(R.Diagnostics, "");
 }
 
+TEST(CommLint, DeadCommWarns) {
+  // The use is guarded by an IF inside the loop, but the communication
+  // vectorizes out to the loop preheader: every iteration that takes the
+  // else path paid for a message nobody reads.
+  std::string Out = lint("program p\n"
+                         "param n = 8\n"
+                         "real a(n,n) distribute (block,block)\n"
+                         "real b(n,n) distribute (block,block)\n"
+                         "begin\n"
+                         "do i = 2, n\n"
+                         "  if (c) then\n"
+                         "    do j = 1, n\n"
+                         "      a(i,j) = b(i-1,j)\n"
+                         "    end do\n"
+                         "  end if\n"
+                         "end do\n"
+                         "end\n");
+  EXPECT_EQ(Out, "warning: 9:16: communication for 'b' is partially dead: "
+                 "some path from its placement reaches the routine exit "
+                 "without reading the data; consider sinking it into the "
+                 "branch that uses it [dead-comm]\n");
+}
+
+TEST(CommLint, DeadCommNegative) {
+  // Same nest without the branch: every path from the placement passes the
+  // use, so the rule stays quiet. (The preheader->postexit zero-trip edge
+  // must not count as a dead path — the loop provably runs here, and even
+  // when it could not, a zero-trip bypass is not worth warning about.)
+  EXPECT_EQ(lint("program p\n"
+                 "param n = 8\n"
+                 "real a(n,n) distribute (block,block)\n"
+                 "real b(n,n) distribute (block,block)\n"
+                 "begin\n"
+                 "do i = 2, n\n"
+                 "  do j = 1, n\n"
+                 "    a(i,j) = b(i-1,j)\n"
+                 "  end do\n"
+                 "end do\n"
+                 "end\n"),
+            "");
+}
+
 //===----------------------------------------------------------------------===//
 // Auditor: clean plans pass
 //===----------------------------------------------------------------------===//

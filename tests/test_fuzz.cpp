@@ -19,7 +19,11 @@
 ///       dominate Latest dominate the use) hold for every entry, and
 ///   (4) a warm result-cache replay of the compilation is bitwise-identical
 ///       to the cold run (the fuzzer doubles as a differential test of
-///       driver/CachedPipeline.h).
+///       driver/CachedPipeline.h), and
+///   (5) the independent availability-dataflow verifier
+///       (analysis/AvailDataflow.h) accepts every strategy's plan — the
+///       translation-validation layer must never flag a plan the provenance
+///       executor proves safe.
 ///
 /// Seeds are fixed, so failures reproduce exactly. The seed range is split
 /// into labeled shards (Shard0..Shard3 instantiations; ctest labels
@@ -29,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "FuzzGen.h"
+#include "analysis/AvailDataflow.h"
 #include "analysis/PlanAudit.h"
 #include "driver/CachedPipeline.h"
 #include "driver/Compile.h"
@@ -82,6 +87,13 @@ TEST_P(Fuzz, PipelineSafeAndMonotone) {
       EXPECT_TRUE(A.ok()) << "[" << strategyName(Strats[SI]) << "]\n"
                           << A.str();
 
+      // (5) Translation validation: the independent availability-dataflow
+      // verifier must also accept every plan (the fuzz oracle for
+      // analysis/AvailDataflow.h).
+      VerifyReport VR = verifyPlan(*RR.Ctx, RR.Plan, Opts.Placement);
+      EXPECT_TRUE(VR.ok()) << "[" << strategyName(Strats[SI]) << "]\n"
+                           << VR.str();
+
       // (1) Provenance safety on a 2x2 grid.
       ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
       VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
@@ -105,6 +117,8 @@ TEST_P(Fuzz, PipelineSafeAndMonotone) {
       Total += RR.Plan.Stats.totalGroups();
       AuditReport A = auditPlan(*RR.Ctx, RR.Plan, Opts.Placement);
       EXPECT_TRUE(A.ok()) << "[" << strategyName(S) << "]\n" << A.str();
+      VerifyReport VR = verifyPlan(*RR.Ctx, RR.Plan, Opts.Placement);
+      EXPECT_TRUE(VR.ok()) << "[" << strategyName(S) << "]\n" << VR.str();
       ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
       VerifyResult V = verifySchedule(*RR.Ctx, RR.Plan, Prog, 4);
       EXPECT_TRUE(V.Ok) << "[" << strategyName(S) << "]\n" << V.str();
@@ -125,6 +139,7 @@ TEST_P(Fuzz, PipelineSafeAndMonotone) {
     Opts.Placement.PartialRedundancy = Seed % 4 == 0;
     Opts.FuseLoops = Seed % 5 == 0;
     Opts.Audit = true;
+    Opts.Verify = Seed % 2 ? VerifyMode::Final : VerifyMode::Each;
     Opts.Lint = Seed % 2 == 0;
 
     ResultCache Cache;
@@ -142,6 +157,8 @@ TEST_P(Fuzz, PipelineSafeAndMonotone) {
     EXPECT_TRUE(WR.Ok);
     EXPECT_TRUE(WR.FromCache);
     EXPECT_EQ(CR.AuditOk, WR.AuditOk);
+    EXPECT_TRUE(CR.VerifyOk);
+    EXPECT_EQ(CR.VerifyOk, WR.VerifyOk);
     EXPECT_EQ(CR.Diagnostics, WR.Diagnostics);
     EXPECT_EQ(CR.planText(), WR.planText());
     EXPECT_EQ(ColdStats, WarmStats);

@@ -95,7 +95,7 @@ TEST(Pipeline, PassRecordsCoverStandardPipeline) {
     Names.push_back(P.Name);
   EXPECT_EQ(Names, (std::vector<std::string>{"parse", "scalarize", "fuse",
                                              "build-context", "placement",
-                                             "audit", "lint"}));
+                                             "audit", "verify", "lint"}));
   // Counter increments are attributed to the pass that made them.
   for (const PassRecord &P : S.Passes) {
     if (P.Name == "placement")
@@ -105,7 +105,7 @@ TEST(Pipeline, PassRecordsCoverStandardPipeline) {
   }
   TimeRecord Total = S.Times.total();
   EXPECT_GT(Total.WallSec, 0.0);
-  EXPECT_EQ(Total.Invocations, 7);
+  EXPECT_EQ(Total.Invocations, 8);
 }
 
 TEST(Pipeline, DumpAfterRecordsSnapshot) {
@@ -123,7 +123,7 @@ TEST(Pipeline, DumpAfterRecordsSnapshot) {
   All.DumpAfter = "all";
   Session S2(figure3FusedWorkload().Source, All);
   ASSERT_TRUE(S2.run());
-  EXPECT_EQ(S2.Dumps.size(), 7u);
+  EXPECT_EQ(S2.Dumps.size(), 8u);
   // After placement the dump carries the plan.
   EXPECT_NE(S2.Dumps[4].second.find("plan["), std::string::npos);
 }

@@ -25,8 +25,8 @@
 // on a hit — bitwise-identical plans, diagnostics, dumps and counters, so
 // cached and uncached runs produce the same deterministic output.
 //
-// Exit status: 0 on success, 1 on any compile error, audit violation, or
-// determinism mismatch, 2 on usage errors.
+// Exit status: 0 on success, 1 on any compile error, audit or translation-
+// validation violation, or determinism mismatch, 2 on usage errors.
 //
 //===----------------------------------------------------------------------===//
 
@@ -106,6 +106,8 @@ struct Output {
   /// and whether the result cache served this compilation.
   StatsRegistry::Snapshot Counters;
   double WallSec = 0;
+  /// Wall time of the translation-validation pass (0 when off or replayed).
+  double VerifyWallSec = 0;
   bool CacheHit = false;
 };
 
@@ -131,6 +133,9 @@ Output compileOneRun(const Input &In, const ToolOptions &Opts,
           .count();
   Out.Counters = S.Stats.snapshot();
   Out.WallSec = WallSec;
+  for (const PassRecord &P : S.Passes)
+    if (P.Name == "verify")
+      Out.VerifyWallSec = P.Time.WallSec;
   Out.CacheHit = CacheHit;
 
   std::string &D = Out.Deterministic;
@@ -153,7 +158,7 @@ Output compileOneRun(const Input &In, const ToolOptions &Opts,
     D += R.Diagnostics;
   if (Opts.Stats)
     D += S.Stats.str();
-  if (!R.AuditOk)
+  if (!R.AuditOk || !R.VerifyOk)
     Out.Failed = true;
 
   // Min/median wall time over a --repeat series (this run included).
@@ -229,6 +234,7 @@ Output compileOne(const Input &In, const ToolOptions &Opts) {
       // the batch-level wall time so metrics aggregate stable numbers.
       First.Timing = std::move(Cur.Timing);
       First.Counters = std::move(Cur.Counters);
+      First.VerifyWallSec = Cur.VerifyWallSec;
       First.CacheHit = Cur.CacheHit;
       std::vector<double> Sorted = Walls;
       std::sort(Sorted.begin(), Sorted.end());
@@ -279,6 +285,10 @@ int usage(const char *Argv0) {
       "  --dump-after=PASS      dump program/plans after PASS (or 'all')\n"
       "  --strategy=NAME        orig|nored|comb|optimal|earlycomb\n"
       "  --no-scalarize --fuse --audit --no-audit --lint --no-lint\n"
+      "  --verify[=final|each|off]  translation validation: re-verify every\n"
+      "                         plan with the independent availability\n"
+      "                         dataflow ('each' adds structural IR checks\n"
+      "                         after every pass); --no-verify disables\n"
       "  --defer-reductions --partial-redundancy\n"
       "  --no-plans             suppress plan printing\n"
       "  -p name=value          override a param declaration\n"
@@ -370,6 +380,12 @@ int main(int argc, char **argv) {
       Opts.Compile.Lint = true;
     } else if (Arg == "--no-lint") {
       Opts.Compile.Lint = false;
+    } else if (Arg == "--verify" || Arg == "--verify=final") {
+      Opts.Compile.Verify = VerifyMode::Final;
+    } else if (Arg == "--verify=each") {
+      Opts.Compile.Verify = VerifyMode::Each;
+    } else if (Arg == "--verify=off" || Arg == "--no-verify") {
+      Opts.Compile.Verify = VerifyMode::Off;
     } else if (Arg == "--no-plans") {
       Opts.PrintPlans = false;
     } else if (Arg == "--cache") {
@@ -482,12 +498,14 @@ int main(int argc, char **argv) {
     // The batch snapshot: session counters summed over all inputs, the
     // driver's own counters, cache counters, and the latency histogram.
     MetricsSnapshot Snap;
-    Histogram Wall;
+    Histogram Wall, VerifyWall;
     int64_t Failures = 0, CacheHits = 0;
     for (const Output &O : Outputs) {
       for (const auto &[Name, Value] : O.Counters)
         Snap.Counters[Name] += Value;
       Wall.record(static_cast<int64_t>(O.WallSec * 1e9));
+      if (Opts.Compile.Verify != VerifyMode::Off)
+        VerifyWall.record(static_cast<int64_t>(O.VerifyWallSec * 1e9));
       Failures += O.Failed;
       CacheHits += O.CacheHit;
     }
@@ -504,6 +522,8 @@ int main(int argc, char **argv) {
       Snap.Counters["cache.disk-errors"] = CS.DiskErrors;
     }
     Snap.addHistogram("compile.wall_ns", Wall);
+    if (Opts.Compile.Verify != VerifyMode::Off)
+      Snap.addHistogram("verify.wall_ns", VerifyWall);
     if (Opts.HistogramReport)
       std::fprintf(stdout, "compile.wall_ns: %s\n", Wall.str().c_str());
     if (Opts.Metrics) {
