@@ -27,6 +27,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 using namespace gca;
 
@@ -279,6 +280,80 @@ void writeResultsFile(const char *Path) {
     Snap.Counters["synth.n400.verify_ns"] = VerifyNs;
     Snap.Counters["synth.n400.verified_wall_ns"] = VerifiedWallNs;
   }
+
+  // Parallel placement scaling: placement+audit wall time on the ~6000-entry
+  // n2000 routine set at 1 vs 8 placement jobs, min-of-3, plus the speedup
+  // in percent (integer counters stay exact in JSON). bench_gate enforces a
+  // >= 4x speedup at 8 jobs — but only when the host has >= 8 cores (see
+  // host.cores below); on smaller hosts the parallel path still runs, so the
+  // determinism claim is exercised, just not the scaling claim.
+  {
+    SynthSpec Spec;
+    Spec.Nests = 2000;
+    Spec.Seed = 1;
+    std::string Src = synthSource(Spec);
+    int64_t Entries = 0;
+    auto PlaceAuditNs = [&](int Jobs) {
+      int64_t Best = 0;
+      for (int Rep = 0; Rep != 3; ++Rep) {
+        CompileOptions Opts;
+        Opts.Audit = true;
+        Opts.Verify = VerifyMode::Off;
+        Opts.Placement.Jobs = Jobs;
+        Session S(Src, Opts);
+        S.run();
+        int64_t PA = 0;
+        for (const PassRecord &PR : S.Passes)
+          if (PR.Name == "placement" || PR.Name == "audit")
+            PA += static_cast<int64_t>(PR.Time.WallSec * 1e9);
+        if (Rep == 0 || PA < Best)
+          Best = PA;
+        Entries = S.Stats.get("placement.entries-detected");
+      }
+      return Best;
+    };
+    int64_t Serial = PlaceAuditNs(1);
+    int64_t Par8 = PlaceAuditNs(8);
+    Snap.Counters["synth.n2000.entries"] = Entries;
+    Snap.Counters["synth.n2000.placement_plus_audit_jobs1_ns"] = Serial;
+    Snap.Counters["synth.n2000.placement_plus_audit_jobs8_ns"] = Par8;
+    Snap.Counters["synth.n2000.speedup_jobs8_pct"] =
+        Par8 ? 100 * Serial / Par8 : 0;
+  }
+
+  // The 100x scale target: one n10000 (~30k-entry) compile at 8 placement
+  // jobs. Single-shot — the point is that the arena/SoA engine completes it
+  // in bounded time and memory, and the trend is visible across baselines;
+  // serial-vs-parallel identity at this scale is covered by the determinism
+  // tests, not re-measured here.
+  {
+    SynthSpec Spec;
+    Spec.Nests = 10000;
+    Spec.Seed = 1;
+    std::string Src = synthSource(Spec);
+    CompileOptions Opts;
+    Opts.Audit = true;
+    Opts.Verify = VerifyMode::Off;
+    Opts.Placement.Jobs = 8;
+    int64_t T0 = nowNs();
+    Session S(Src, Opts);
+    S.run();
+    int64_t WallNs = nowNs() - T0;
+    int64_t PA = 0;
+    for (const PassRecord &PR : S.Passes)
+      if (PR.Name == "placement" || PR.Name == "audit")
+        PA += static_cast<int64_t>(PR.Time.WallSec * 1e9);
+    Snap.Counters["synth.n10000.entries"] =
+        S.Stats.get("placement.entries-detected");
+    Snap.Counters["synth.n10000.placement_plus_audit_jobs8_ns"] = PA;
+    Snap.Counters["synth.n10000.wall_jobs8_ns"] = WallNs;
+  }
+
+  // The gate scales its parallel-speedup expectation by the recording host:
+  // a 1-core container cannot demonstrate an 8-job speedup no matter how
+  // good the engine is.
+  Snap.Counters["host.cores"] =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
 
   std::string Doc = Snap.json() + "\n";
   if (FILE *F = std::fopen(Path, "w")) {

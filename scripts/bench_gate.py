@@ -16,12 +16,28 @@ Metric classes:
   *.entries       determinism; must match the baseline exactly (the synth
                   generator is seeded, so a drift means the workload or
                   the analysis changed shape -- rebase the baseline
-                  deliberately).
-  everything else informational; printed, never gated.
+                  deliberately).  Always enforced, even with --warn-only.
+  speedup         synth.n2000.speedup_jobs8_pct must reach
+                  SPEEDUP_MIN_PCT (4x) -- but only when the measuring
+                  host reports host.cores >= SPEEDUP_MIN_CORES (8): a
+                  small container cannot demonstrate an 8-job speedup no
+                  matter how good the engine is, so the bar is
+                  core-scaled rather than absolute.
 
---warn-only downgrades warn-threshold crossings to warnings (for shared
-CI runners with unpredictable load) but a regression beyond --hard-fail
-(default 3.0x) still fails even then.
+The gate is ENFORCING by default: exact-match and placement-time metric
+failures exit nonzero.  Escape hatches, in order of preference:
+
+  1. A real regression: fix it, or rebase the baseline deliberately
+     (run bench_compile_time, copy BENCH_compile.json over
+     results/BENCH_compile_baseline.json, and say why in the commit).
+  2. A known-noisy runner: pass --warn-only to downgrade timing-ratio
+     crossings to warnings.  Exact-match counters and a regression
+     beyond --hard-fail (default 3.0x) still fail even then.
+  3. A host-specific speedup miss (e.g. a shared runner that throttles
+     its cores): pass --allow-speedup-miss to downgrade the parallel
+     speedup check to a warning.  Use this only with a link to the
+     runner's incident; the check is the acceptance bar for the
+     parallel placement engine.
 
 Exit codes: 0 ok, 1 regression, 2 usage/IO error.
 """
@@ -40,8 +56,19 @@ WARN_THRESHOLDS = {
     "synth.n400.wall_ns": 2.0,
     "synth.n400.verify_ns": 2.0,
     "synth.n400.verified_wall_ns": 2.0,
+    "synth.n2000.placement_plus_audit_jobs1_ns": 2.0,
+    "synth.n2000.placement_plus_audit_jobs8_ns": 2.0,
+    "synth.n10000.placement_plus_audit_jobs8_ns": 2.0,
+    "synth.n10000.wall_jobs8_ns": 2.0,
 }
 DEFAULT_WARN = 1.5
+
+# Parallel placement speedup bar: placement+audit at 8 jobs must be at
+# least SPEEDUP_MIN_PCT/100 times faster than serial on the n2000 synth
+# workload -- enforced only when the measuring host has SPEEDUP_MIN_CORES
+# or more cores (the metric is meaningless on smaller hosts).
+SPEEDUP_MIN_PCT = 400
+SPEEDUP_MIN_CORES = 8
 
 # The translation-validation verifier must stay cheap relative to the
 # compilation it validates: verify_ns <= this fraction of the unverified
@@ -49,7 +76,8 @@ DEFAULT_WARN = 1.5
 VERIFY_OVERHEAD_LIMIT = 0.25
 
 # Counters that must match the baseline bit-for-bit.
-EXACT_KEYS = {"synth.n400.entries"}
+EXACT_KEYS = {"synth.n400.entries", "synth.n2000.entries",
+              "synth.n10000.entries"}
 
 
 def load_counters(path):
@@ -75,6 +103,9 @@ def main():
                     help="warn-threshold crossings do not fail the gate")
     ap.add_argument("--hard-fail", type=float, default=3.0,
                     help="ratio that fails even with --warn-only")
+    ap.add_argument("--allow-speedup-miss", action="store_true",
+                    help="downgrade the parallel speedup bar to a warning "
+                         "(documented escape hatch for throttled runners)")
     args = ap.parse_args()
 
     base = load_counters(args.baseline)
@@ -125,6 +156,27 @@ def main():
                 verdict = "FAIL"
         print(f"  {verdict:<6} {key} ratio {ratio:.2f} "
               f"(current {c}, baseline {b})")
+
+    # Parallel placement speedup: gated within the current run, core-scaled
+    # by the recording host (see SPEEDUP_MIN_CORES above).
+    speedup = cur.get("synth.n2000.speedup_jobs8_pct")
+    cores = cur.get("host.cores", 0)
+    if speedup is not None:
+        if cores < SPEEDUP_MIN_CORES:
+            print(f"  skip   parallel speedup check: host has {cores} "
+                  f"core(s), bar applies at >= {SPEEDUP_MIN_CORES} "
+                  f"(measured {speedup / 100:.2f}x)")
+        elif speedup < SPEEDUP_MIN_PCT:
+            msg = (f"synth.n2000.speedup_jobs8_pct: {speedup / 100:.2f}x "
+                   f"speedup at 8 jobs on a {cores}-core host "
+                   f"(bar {SPEEDUP_MIN_PCT / 100:.0f}x)")
+            if args.allow_speedup_miss:
+                warnings.append(msg)
+            else:
+                failures.append(msg)
+        else:
+            print(f"  ok     parallel speedup {speedup / 100:.2f}x at 8 jobs "
+                  f"({cores}-core host, bar {SPEEDUP_MIN_PCT / 100:.0f}x)")
 
     # Verifier overhead: gated within the current run so it holds on any
     # machine, not just relative to the baseline's.

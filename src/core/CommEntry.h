@@ -20,8 +20,11 @@
 
 #include "cfg/Cfg.h"
 #include "section/Asd.h"
+#include "support/Arena.h"
 
 #include <array>
+#include <cassert>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +32,53 @@
 namespace gca {
 
 class StatsRegistry;
+class ThreadPool;
+
+/// A fixed-capacity slot sequence carved out of its plan's arena (SoA slot
+/// storage: the Slot payloads of every entry live in a handful of arena
+/// blocks instead of one heap vector per entry). The elimination passes only
+/// ever shrink candidate sets or collapse them to a chosen slot, so the span
+/// mutates in place and never reallocates; the backing memory is owned by
+/// CommPlan::Mem and outlives every copy of the plan.
+class SlotSpan {
+public:
+  SlotSpan() = default;
+  SlotSpan(Slot *Data, uint32_t Len) : Data(Data), Len(Len) {}
+
+  using value_type = Slot;
+  const Slot *begin() const { return Data; }
+  const Slot *end() const { return Data + Len; }
+  size_t size() const { return Len; }
+  bool empty() const { return Len == 0; }
+  const Slot &front() const { return Data[0]; }
+  const Slot &back() const { return Data[Len - 1]; }
+  const Slot &operator[](size_t I) const { return Data[I]; }
+
+  /// Collapses the span to the single slot \p S (greedy pinning, group
+  /// pinning). Requires nonzero capacity, i.e. the span was ever non-empty.
+  void assignSingle(const Slot &S) {
+    assert(Data && "assignSingle on a span with no storage");
+    Data[0] = S;
+    Len = 1;
+  }
+
+  /// Erase-remove of every slot matching \p P, preserving order.
+  template <typename Pred> void removeIf(Pred P) {
+    Slot *Out = Data;
+    for (Slot *I = Data, *E = Data + Len; I != E; ++I)
+      if (!P(*I))
+        *Out++ = *I;
+    Len = static_cast<uint32_t>(Out - Data);
+  }
+
+  void removeValue(const Slot &S) {
+    removeIf([&](const Slot &X) { return X == S; });
+  }
+
+private:
+  Slot *Data = nullptr;
+  uint32_t Len = 0;
+};
 
 /// One communication requirement for one use.
 struct CommEntry {
@@ -56,11 +106,12 @@ struct CommEntry {
   int CommLevel = 0;
   /// Candidate placement slots, in dominance order (earliest first). For
   /// reductions this is the single slot before the use (Section 6.2).
-  std::vector<Slot> Candidates;
+  /// Arena-backed (CommPlan::Mem); elimination shrinks it in place.
+  SlotSpan Candidates;
   /// Candidates as originally marked, before subset/redundancy elimination
   /// ("including entries disabled during redundancy elimination" take part
-  /// in the final latest-common-position computation).
-  std::vector<Slot> OriginalCandidates;
+  /// in the final latest-common-position computation). Arena-backed.
+  SlotSpan OriginalCandidates;
 
   // --- Placement outcome (Sections 4.5-4.7) ---
   bool Eliminated = false; ///< Fully redundant; folded into SubsumedBy.
@@ -174,6 +225,15 @@ struct PlacementOptions {
   /// rules checked) here. Owned by the caller — typically the compilation
   /// Session — so concurrent compilations never share a registry.
   StatsRegistry *Stats = nullptr;
+  /// Worker threads for the per-entry analysis fan-out (placement) and the
+  /// per-entry/per-group rule checks (audit). 1 = fully serial. Results are
+  /// committed in entry order regardless of scheduling, so every job count
+  /// produces bitwise-identical plans, stats, and decision logs.
+  int Jobs = 1;
+  /// The pool the parallel phases run on when Jobs > 1. Owned by the caller
+  /// (the Session lazily builds one sized to Jobs). Null with Jobs > 1
+  /// degrades to serial.
+  ThreadPool *Pool = nullptr;
 };
 
 /// Static message statistics, per communication kind (the Figure 10 table).
@@ -193,6 +253,9 @@ struct CommPlan {
   std::vector<CommEntry> Entries;
   std::vector<CommGroup> Groups;
   CommStats Stats;
+  /// Backing storage of every entry's candidate spans. Shared so plan copies
+  /// stay cheap and valid; the spans are read-only once placement returns.
+  std::shared_ptr<Arena> Mem;
   /// Why the plan looks the way it does: every detection, range, elimination,
   /// combining and final-placement decision, in algorithm order. Appended by
   /// Detect and the Placer; deterministic for a given (routine, options).

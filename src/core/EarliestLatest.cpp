@@ -227,17 +227,19 @@ static void computeLatest(const AnalysisContext &Ctx, CommEntry &E) {
 }
 
 /// Enumerates the slots of the dominator-tree segment [Lo, Hi] (both slots
-/// included; Lo must dominate Hi), in dominance order.
-static std::vector<Slot> slotRange(const AnalysisContext &Ctx, const Slot &Lo,
-                                   const Slot &Hi) {
+/// included; Lo must dominate Hi), in dominance order, appending to \p Out
+/// (cleared first; the caller's scratch vector keeps its capacity across
+/// entries).
+static void slotRange(const AnalysisContext &Ctx, const Slot &Lo,
+                      const Slot &Hi, std::vector<Slot> &Out) {
   // Emitted directly in dominance order (earliest first): the blocks on the
   // idom chain from Lo down to Hi have strictly increasing depth, and slots
   // within one block are ascending, so no sort is needed.
-  std::vector<Slot> Out;
+  Out.clear();
   if (Lo.Node == Hi.Node) {
     for (int I = Lo.Index; I <= Hi.Index; ++I)
       Out.push_back({Lo.Node, I});
-    return Out;
+    return;
   }
   // Collect the interior chain Hi -> Lo (exclusive), then walk it backward.
   std::vector<int> Chain;
@@ -258,14 +260,13 @@ static std::vector<Slot> slotRange(const AnalysisContext &Ctx, const Slot &Lo,
   }
   for (int I = 0; I <= Hi.Index; ++I)
     Out.push_back({Hi.Node, I});
-  return Out;
 }
 
 /// Candidate marking of Figure 9(e): slots from Latest(u) up the dominator
 /// tree to Earliest(u).
-static void markCandidates(const AnalysisContext &Ctx, CommEntry &E) {
-  E.Candidates = slotRange(Ctx, E.EarliestSlot, E.LatestSlot);
-  E.OriginalCandidates = E.Candidates;
+static void markCandidates(const AnalysisContext &Ctx, const CommEntry &E,
+                           std::vector<Slot> &CandOut) {
+  slotRange(Ctx, E.EarliestSlot, E.LatestSlot, CandOut);
 }
 
 /// The Section 6.2 extension: widens a reduction's placement range from the
@@ -273,7 +274,8 @@ static void markCandidates(const AnalysisContext &Ctx, CommEntry &E) {
 /// the first read of the result scalar (the "reversed SSA" analysis the
 /// paper leaves for future work). Bails out when the result flows into a
 /// phi (it escapes the straight-line region) or has no direct reader.
-static void deferReduction(const AnalysisContext &Ctx, CommEntry &E) {
+static void deferReduction(const AnalysisContext &Ctx, CommEntry &E,
+                           std::vector<Slot> &CandOut) {
   const AssignStmt *S = E.UseStmt;
   if (!S->lhsIsScalar())
     return;
@@ -330,7 +332,8 @@ static void deferReduction(const AnalysisContext &Ctx, CommEntry &E) {
   if (!Ctx.DT.slotDominates(Lo, Hi))
     return;
 
-  std::vector<Slot> Range = slotRange(Ctx, Lo, Hi);
+  std::vector<Slot> Range;
+  slotRange(Ctx, Lo, Hi, Range);
   // Keep only slots that execute before *every* reader and that are no
   // deeper than the sum statement itself (descending into a consumer's
   // loop nest would fire the combine once per iteration).
@@ -348,12 +351,12 @@ static void deferReduction(const AnalysisContext &Ctx, CommEntry &E) {
   if (Kept.empty())
     return;
   E.LatestSlot = Kept.back();
-  E.Candidates = Kept;
-  E.OriginalCandidates = std::move(Kept);
+  CandOut = std::move(Kept);
 }
 
 void gca::analyzeEntryPlacement(const AnalysisContext &Ctx, CommEntry &E,
-                                const PlacementOptions &Opts) {
+                                const PlacementOptions &Opts,
+                                std::vector<Slot> &CandOut) {
   // Reductions are inverted (Section 6.2): "the computation occurs first
   // (for the partial reduction operation on individual processors),
   // followed by communication for the global reduction operation that must
@@ -364,11 +367,11 @@ void gca::analyzeEntryPlacement(const AnalysisContext &Ctx, CommEntry &E,
   if (E.M.Kind == CommKind::Reduce) {
     E.EarliestSlot = E.LatestSlot = Ctx.G.slotAfter(E.UseStmt);
     E.CommLevel = static_cast<int>(Ctx.G.loopNestOf(E.UseStmt).size());
-    E.Candidates = {E.LatestSlot};
-    E.OriginalCandidates = E.Candidates;
+    CandOut.clear();
+    CandOut.push_back(E.LatestSlot);
     if (Opts.DeferReductions && (Opts.Strat == Strategy::Global ||
                                  Opts.Strat == Strategy::Optimal))
-      deferReduction(Ctx, E);
+      deferReduction(Ctx, E, CandOut);
     return;
   }
 
@@ -387,5 +390,5 @@ void gca::analyzeEntryPlacement(const AnalysisContext &Ctx, CommEntry &E,
     assert(false && "Earliest does not dominate Latest");
     E.EarliestSlot = E.LatestSlot;
   }
-  markCandidates(Ctx, E);
+  markCandidates(Ctx, E, CandOut);
 }

@@ -31,9 +31,14 @@
 
 namespace gca {
 
-/// Fills EarliestSlot/LatestSlot/CommLevel/Candidates of \p E.
+/// Fills EarliestSlot/LatestSlot/CommLevel of \p E and appends the candidate
+/// slot range to \p CandOut (cleared first). The caller commits the list to
+/// the plan's arena — both Candidates and OriginalCandidates start as copies
+/// of it — so the analysis itself is free of shared-state writes and may run
+/// for many entries concurrently.
 void analyzeEntryPlacement(const AnalysisContext &Ctx, CommEntry &E,
-                           const PlacementOptions &Opts);
+                           const PlacementOptions &Opts,
+                           std::vector<Slot> &CandOut);
 
 /// The Earliest(u) computation (Figure 8 / Claim 4.1, via dependence-source
 /// barriers — see the implementation note in EarliestLatest.cpp); exposed

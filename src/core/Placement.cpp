@@ -11,6 +11,7 @@
 #include "core/EarliestLatest.h"
 #include "support/Stats.h"
 #include "support/StrUtil.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -168,18 +169,11 @@ public:
     DomQueriesStart = Ctx.DT.queryCount();
     CommPlan Plan;
     Plan.Strat = Opts.Strat;
+    Plan.Mem = std::make_shared<Arena>();
     Plan.Entries = detectCommunication(Ctx, Opts, &Plan.Decisions);
-    AsdCache.resize(Plan.Entries.size());
+    AsdIdx.reset(static_cast<int>(Plan.Entries.size()));
     computeClasses(Plan);
-    for (CommEntry &E : Plan.Entries) {
-      analyzeEntryPlacement(Ctx, E, Opts);
-      Plan.Decisions.push_back(
-          {DecisionKind::RangeComputed, E.Id, -1, E.EarliestSlot,
-           strFormat("earliest=%s latest=%s candidates=%d level=%d",
-                     slotStr(E.EarliestSlot).c_str(),
-                     slotStr(E.LatestSlot).c_str(),
-                     static_cast<int>(E.Candidates.size()), E.CommLevel)});
-    }
+    analyzeEntries(Plan);
 
     switch (Opts.Strat) {
     case Strategy::Orig:
@@ -205,16 +199,67 @@ public:
   }
 
 private:
+  /// Per-entry Earliest/Latest analysis (Sections 4.2-4.4), fanned across
+  /// the placement pool when Opts.Jobs > 1. Entries are independent: the
+  /// analysis reads only the immutable context (the dominance query tally
+  /// is a relaxed atomic), and every entry's results land in its own slots
+  /// of the chunk-indexed output, so scheduling cannot reorder anything.
+  /// The serial commit loop then copies each candidate list into the plan's
+  /// arena and appends the RangeComputed events in entry order — serial and
+  /// parallel runs produce bitwise-identical plans and decision logs.
+  void analyzeEntries(CommPlan &Plan) {
+    const int N = static_cast<int>(Plan.Entries.size());
+    struct Chunk {
+      int Begin = 0, End = 0;
+      std::vector<Slot> Slots;      ///< Concatenated candidate lists.
+      std::vector<uint32_t> Offset; ///< End offset per entry in the chunk.
+    };
+    int NumChunks = parallelChunkCount(Opts.Pool, Opts.Jobs, N);
+    std::vector<Chunk> Chunks(NumChunks);
+    runChunked(Opts.Pool, N, NumChunks, [&](int Begin, int End, int CI) {
+      Chunk &C = Chunks[CI];
+      C.Begin = Begin;
+      C.End = End;
+      std::vector<Slot> Tmp;
+      for (int I = Begin; I < End; ++I) {
+        analyzeEntryPlacement(Ctx, Plan.Entries[I], Opts, Tmp);
+        C.Slots.insert(C.Slots.end(), Tmp.begin(), Tmp.end());
+        C.Offset.push_back(static_cast<uint32_t>(C.Slots.size()));
+      }
+    });
+    for (const Chunk &C : Chunks) {
+      uint32_t Prev = 0;
+      for (int I = C.Begin; I < C.End; ++I) {
+        uint32_t End = C.Offset[I - C.Begin];
+        uint32_t Len = End - Prev;
+        // Two arena copies: Candidates shrinks during elimination while
+        // OriginalCandidates may later be pinned, so they diverge.
+        Slot *Mem = Plan.Mem->allocArray<Slot>(2 * static_cast<size_t>(Len));
+        std::copy(C.Slots.begin() + Prev, C.Slots.begin() + End, Mem);
+        std::copy(Mem, Mem + Len, Mem + Len);
+        CommEntry &E = Plan.Entries[I];
+        E.Candidates = SlotSpan(Mem, Len);
+        E.OriginalCandidates = SlotSpan(Mem + Len, Len);
+        Prev = End;
+        Plan.Decisions.push_back(
+            {DecisionKind::RangeComputed, E.Id, -1, E.EarliestSlot,
+             strFormat("earliest=%s latest=%s candidates=%d level=%d",
+                       slotStr(E.EarliestSlot).c_str(),
+                       slotStr(E.LatestSlot).c_str(), static_cast<int>(Len),
+                       E.CommLevel)});
+      }
+    }
+  }
+
   // --- Helpers ------------------------------------------------------------
 
   const Asd &asdAt(const CommEntry &E, int Level) {
-    auto &PerEntry = AsdCache[E.Id];
-    if (static_cast<int>(PerEntry.size()) <= Level)
-      PerEntry.resize(Level + 1);
-    std::unique_ptr<Asd> &P = PerEntry[Level];
-    if (!P)
-      P = std::make_unique<Asd>(asdOfEntry(Ctx, E, Level));
-    return *P;
+    int32_t &Idx = AsdIdx.at(E.Id, Level);
+    if (Idx < 0) {
+      Idx = static_cast<int32_t>(AsdPool.size());
+      AsdPool.push_back(asdOfEntry(Ctx, E, Level));
+    }
+    return AsdPool[Idx];
   }
 
   int slotLevel(const Slot &S) const { return Ctx.slotLevel(S); }
@@ -310,7 +355,7 @@ private:
   /// other list bumped its count. The first list is scanned in its own
   /// order with the same strict slotLater update as the original nested
   /// scan, so ties resolve to the same slot.
-  Slot latestCommon(const std::vector<const std::vector<Slot> *> &Lists) {
+  Slot latestCommon(const std::vector<const SlotSpan *> &Lists) {
     if (Lists.empty())
       return Slot();
     SlotMarks.ensure(Ctx.G.numSlots());
@@ -472,7 +517,7 @@ private:
   /// then each group's widest mapping and data descriptors are computed.
   void finalizeGroups(CommPlan &Plan) {
     for (CommGroup &G : Plan.Groups) {
-      std::vector<const std::vector<Slot> *> Lists;
+      std::vector<const SlotSpan *> Lists;
       for (int Id : G.Members)
         Lists.push_back(&Plan.Entries[Id].OriginalCandidates);
       for (int Id : G.Attached)
@@ -646,7 +691,7 @@ private:
   /// original candidate lists to the chosen slot.
   void pinGroup(CommPlan &Plan, CommGroup &G) {
     for (int Id : G.Members)
-      Plan.Entries[Id].OriginalCandidates = {G.Placement};
+      Plan.Entries[Id].OriginalCandidates.assignSingle(G.Placement);
   }
 
   // --- Strategy: nored (earliest placement + redundancy elimination) -------
@@ -850,10 +895,8 @@ private:
           // step recovers any flexibility given up here).
           if (Set1.size() == Size2 && !slotLater(S2, S1))
             continue;
-          for (int Id : Set1) {
-            auto &Cand = Plan.Entries[Id].Candidates;
-            Cand.erase(std::remove(Cand.begin(), Cand.end(), S1), Cand.end());
-          }
+          for (int Id : Set1)
+            Plan.Entries[Id].Candidates.removeValue(S1);
           Plan.Decisions.push_back(
               {DecisionKind::SubsetSlotCleared, -1, -1, S1,
                strFormat("covered by %s; %d entries affected",
@@ -918,13 +961,11 @@ private:
               continue;
             // Disable C1 at S and every slot S dominates.
             size_t BeforeSize = C1.Candidates.size();
-            auto &Cand = C1.Candidates;
+            SlotSpan &Cand = C1.Candidates;
             Slot SCopy = S;
-            Cand.erase(std::remove_if(Cand.begin(), Cand.end(),
-                                      [&](const Slot &X) {
-                                        return Ctx.DT.slotDominates(SCopy, X);
-                                      }),
-                       Cand.end());
+            Cand.removeIf([&](const Slot &X) {
+              return Ctx.DT.slotDominates(SCopy, X);
+            });
             if (Cand.size() != BeforeSize)
               Progress = true;
             if (Cand.empty()) {
@@ -963,21 +1004,26 @@ private:
   /// Intersects \p E's candidates with \p Allowed (keeps at least one slot;
   /// callers guarantee nonempty intersection). Membership tests run against
   /// the sorted dense ids of \p Allowed; \p E's candidate order is kept.
-  void restrictTo(CommEntry &E, const std::vector<Slot> &Allowed) {
+  void restrictTo(CommEntry &E, const SlotSpan &Allowed) {
     ++SlotSetMerges;
-    std::vector<int> AllowedIds;
+    std::vector<int> &AllowedIds = RestrictScratch;
+    AllowedIds.clear();
     AllowedIds.reserve(Allowed.size());
     for (const Slot &S : Allowed)
       AllowedIds.push_back(slotIdOf(S));
     std::sort(AllowedIds.begin(), AllowedIds.end());
-    auto &Cand = E.Candidates;
-    std::vector<Slot> Kept;
+    SlotSpan &Cand = E.Candidates;
+    auto Outside = [&](const Slot &S) {
+      return !std::binary_search(AllowedIds.begin(), AllowedIds.end(),
+                                 slotIdOf(S));
+    };
+    // Keep the original set when the intersection would be empty (callers
+    // guarantee nonempty, but stay defensive like the vector version).
+    bool AnyKept = false;
     for (const Slot &S : Cand)
-      if (std::binary_search(AllowedIds.begin(), AllowedIds.end(),
-                             slotIdOf(S)))
-        Kept.push_back(S);
-    if (!Kept.empty())
-      Cand = std::move(Kept);
+      AnyKept |= !Outside(S);
+    if (AnyKept)
+      Cand.removeIf(Outside);
   }
 
   void greedyChoose(CommPlan &Plan) {
@@ -1063,7 +1109,7 @@ private:
       int SId = slotIdOf(S);
       cellOf(SId, Cls)++;
       SortedCand[E.Id] = {SId};
-      E.Candidates = {S};
+      E.Candidates.assignSingle(S);
       E.Chosen = S;
     };
 
@@ -1072,7 +1118,8 @@ private:
       // in place (its order is preserved) against a dense mark of each
       // later member's list.
       SlotMarks.ensure(NumSlots);
-      std::vector<Slot> Common = Plan.Entries[Unit[0]].Candidates;
+      const SlotSpan &Cand0 = Plan.Entries[Unit[0]].Candidates;
+      std::vector<Slot> Common(Cand0.begin(), Cand0.end());
       for (size_t I = 1; I < Unit.size(); ++I) {
         ++SlotSetMerges;
         SlotMarks.reset();
@@ -1088,7 +1135,8 @@ private:
       // candidate is still a *safe* position (pruning is an optimization),
       // so fall back to the intersection of the original ranges.
       if (Common.empty() && Unit.size() > 1) {
-        Common = Plan.Entries[Unit[0]].OriginalCandidates;
+        const SlotSpan &Orig0 = Plan.Entries[Unit[0]].OriginalCandidates;
+        Common.assign(Orig0.begin(), Orig0.end());
         for (size_t I = 1; I < Unit.size(); ++I) {
           ++SlotSetMerges;
           SlotMarks.reset();
@@ -1211,22 +1259,43 @@ private:
 
     for (size_t I = 0; I != Active.size(); ++I) {
       Plan.Entries[Active[I]].Chosen = Best[I];
-      Plan.Entries[Active[I]].Candidates = {Best[I]};
+      Plan.Entries[Active[I]].Candidates.assignSingle(Best[I]);
     }
     buildGroups(Plan);
   }
 
   const AnalysisContext &Ctx;
   const PlacementOptions &Opts;
-  /// Per-entry, per-nesting-level abstract section descriptors, computed on
-  /// first use ([entry id][level]).
-  std::vector<std::vector<std::unique_ptr<Asd>>> AsdCache;
+  /// Per-(entry, level) abstract section descriptor table, computed on first
+  /// use. SoA layout: one dense int32 index row per level (lazily added)
+  /// pointing into a stable pool, instead of a unique_ptr box per cell.
+  class AsdIndex {
+  public:
+    void reset(int NumEntries) {
+      N = NumEntries;
+      ByLevel.clear();
+    }
+    int32_t &at(int Entry, int Level) {
+      while (static_cast<int>(ByLevel.size()) <= Level)
+        ByLevel.emplace_back(N, -1);
+      return ByLevel[Level][Entry];
+    }
+
+  private:
+    int N = 0;
+    std::vector<std::vector<int32_t>> ByLevel;
+  };
+  AsdIndex AsdIdx;
+  /// Descriptor pool; deque for reference stability (asdAt results are held
+  /// across further asdAt calls in the pairwise scans).
+  std::deque<Asd> AsdPool;
   /// Pattern-class ids per entry (see computeClasses).
   std::vector<int> CompatClass;
   std::vector<int> SubsumeClass;
   int NumCompatClasses = 0;
   /// Scratch tables reused across the indexed passes.
   DenseTable SlotMarks;
+  std::vector<int> RestrictScratch;
   /// Instrumentation: pairwise comparisons actually performed by the
   /// subset/redundancy/combining scans, and sorted-id set merges.
   int64_t PairCompares = 0;
@@ -1251,8 +1320,10 @@ std::string CommPlan::str(const Routine &R) const {
   for (const CommGroup &G : Groups) {
     Out += strFormat("  group %d @(B%d,%d) %s:", G.Id, G.Placement.Node,
                      G.Placement.Index, commKindName(G.Kind));
-    for (const Asd &A : G.Data)
-      Out += " " + A.str(&Names, R.array(A.ArrayId).Name);
+    for (const Asd &A : G.Data) {
+      Out += ' ';
+      Out += A.str(&Names, R.array(A.ArrayId).Name);
+    }
     Out += strFormat("  members=%d attached=%d\n",
                      static_cast<int>(G.Members.size()),
                      static_cast<int>(G.Attached.size()));

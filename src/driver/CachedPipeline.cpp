@@ -19,6 +19,13 @@ std::string gca::optionsFingerprint(const CompileOptions &Opts) {
   std::string S;
   // Every field, defaults included, in a fixed order. %.17g round-trips
   // doubles exactly, so equal values always render equal.
+  //
+  // PlacementOptions::Jobs (and the Pool it implies) is deliberately NOT
+  // key material: the parallel placement phase commits per-entry results in
+  // entry order, so plans, diagnostics, decision logs, and counters are
+  // bitwise-identical at any job count — a result computed at -j8 replays
+  // correctly for a serial compile and vice versa. The non-semantic Stats
+  // export pointer is likewise excluded.
   S += strFormat("strategy=%s\n", strategyName(P.Strat));
   S += strFormat("combine-threshold-bytes=%lld\n",
                  static_cast<long long>(P.CombineThresholdBytes));
@@ -69,11 +76,123 @@ CachedResult gca::harvestSession(Session &S) {
   // (failed runs carry them in Errors already).
   if (S.Result.Ok)
     R.Diagnostics = S.Diags.str();
-  for (const RoutineResult &RR : S.Result.Routines)
+  for (const RoutineResult &RR : S.Result.Routines) {
+    // A routine replayed from the routine cache never materialized a live
+    // plan; its rendered text comes from the cached entry instead, so warm
+    // and cold compiles still print the same bytes.
+    if (Session::RoutineCacheEntry *E = S.routineCacheEntry(RR.R->name());
+        E && E->Hit) {
+      for (const auto &[Name, Text] : E->Value.Plans)
+        if (Name == RR.R->name())
+          R.Plans.emplace_back(Name, Text);
+      continue;
+    }
     R.Plans.emplace_back(RR.R->name(), RR.Plan.str(*RR.R));
+  }
   R.Dumps = S.Dumps;
   R.Counters = S.Stats.snapshot();
   return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Routine-granularity slicing and keys
+//===----------------------------------------------------------------------===//
+
+static bool isIdentChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_';
+}
+
+std::vector<RoutineSlice> gca::sliceRoutineSources(const std::string &Source,
+                                                   std::string &Prelude) {
+  std::vector<RoutineSlice> Slices;
+  Prelude.clear();
+  size_t Pos = 0;
+  int Line = 1;
+  while (Pos < Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    size_t End = Eol == std::string::npos ? Source.size() : Eol + 1;
+    // A marker line's first token is literally `routine` followed by an
+    // identifier. Comment lines (`!`, `//`) can never match, and the
+    // grammar admits the keyword nowhere else at the start of a line.
+    size_t I = Pos;
+    while (I < End && (Source[I] == ' ' || Source[I] == '\t'))
+      ++I;
+    std::string Name;
+    if (Source.compare(I, 7, "routine") == 0 &&
+        (I + 7 >= Source.size() || !isIdentChar(Source[I + 7]))) {
+      size_t N = I + 7;
+      while (N < End && (Source[N] == ' ' || Source[N] == '\t'))
+        ++N;
+      size_t NameBegin = N;
+      while (N < End && isIdentChar(Source[N]))
+        ++N;
+      Name.assign(Source, NameBegin, N - NameBegin);
+    }
+    if (!Name.empty()) {
+      RoutineSlice S;
+      S.Name = std::move(Name);
+      S.StartLine = Line;
+      Slices.push_back(std::move(S));
+    }
+    std::string &Out = Slices.empty() ? Prelude : Slices.back().Text;
+    Out.append(Source, Pos, End - Pos);
+    Pos = End;
+    ++Line;
+  }
+  return Slices;
+}
+
+CacheKey gca::routineCacheKey(const std::string &Prelude,
+                              const std::string &RoutineText, int StartLine,
+                              const CompileOptions &Opts, const Pipeline &P) {
+  std::string Material;
+  Material += std::string(kGcaCacheVersion) + "\n";
+  Material += "--routine--\n";
+  Material += "--options--\n" + optionsFingerprint(Opts);
+  Material += "--pipeline--\n" + pipelineFingerprint(P);
+  Material += "--prelude--\n" + Prelude;
+  Material += strFormat("--start-line=%d--\n", StartLine);
+  Material += "--source--\n" + RoutineText;
+  return CacheKey::of(Material);
+}
+
+void CachedPipeline::setupRoutineCache(Session &S) {
+  // Dump-after hooks dump every routine's live IR, and --verify=each
+  // cross-checks plan integrity mid-pipeline; both need full recomputation.
+  if (!S.Opts.DumpAfter.empty() || S.Opts.Verify == VerifyMode::Each)
+    return;
+  std::string Prelude;
+  std::vector<RoutineSlice> Slices = sliceRoutineSources(S.Source, Prelude);
+  if (Slices.empty())
+    return;
+  std::map<std::string, Session::RoutineCacheEntry> Entries;
+  for (const RoutineSlice &Slice : Slices) {
+    Session::RoutineCacheEntry E;
+    E.Key = routineCacheKey(Prelude, Slice.Text, Slice.StartLine, S.Opts, P);
+    // Duplicate routine names make per-name replay ambiguous; the compile
+    // may also reject them, but the cache must not rely on that.
+    if (!Entries.emplace(Slice.Name, std::move(E)).second)
+      return;
+  }
+  for (auto &[Name, E] : Entries) {
+    if (std::optional<CachedResult> V = Cache.lookupRoutine(E.Key)) {
+      E.Hit = true;
+      E.Value = std::move(*V);
+    }
+  }
+  S.RoutineCache = std::move(Entries);
+}
+
+void CachedPipeline::storeRoutineResults(Session &S) {
+  if (!S.Result.Ok || !S.routineCacheActive())
+    return;
+  for (auto &[Name, E] : S.RoutineCache) {
+    if (E.Hit)
+      continue;
+    E.Value.Ok = true;
+    Cache.store(E.Key, E.Value);
+  }
 }
 
 bool CachedPipeline::run(Session &S) {
@@ -89,7 +208,12 @@ bool CachedPipeline::run(Session &S) {
   CachedResult R = Cache.getOrCompute(
       K,
       [&] {
+        // Whole-file miss: replay whatever routines still hit at routine
+        // granularity, run the pipeline (cached routines skip their
+        // per-routine passes), then store the recomputed routines.
+        setupRoutineCache(S);
         S.run(P);
+        storeRoutineResults(S);
         return harvestSession(S);
       },
       &Hit);

@@ -55,8 +55,41 @@ CacheKey compileCacheKey(const std::string &Source, const CompileOptions &Opts,
                          const Pipeline &P = Pipeline::standard());
 
 /// Builds the replayable artifacts of a finished session (the value stored
-/// under its cache key). The session must have run to completion.
+/// under its cache key). The session must have run to completion. Routines
+/// the session replayed from the routine cache contribute their cached plan
+/// text (their live plan was never materialized).
 CachedResult harvestSession(Session &S);
+
+/// --- Routine-granularity keys ---------------------------------------------
+
+/// One `routine` block of an HPF-lite source, as sliced by
+/// sliceRoutineSources(): the marker line plus everything up to the next
+/// marker (or end of file).
+struct RoutineSlice {
+  std::string Name;
+  int StartLine = 0; ///< 1-based source line of the `routine` marker.
+  std::string Text;  ///< Marker line through the line before the next marker.
+};
+
+/// Splits \p Source at `routine <name>` marker lines (the only place the
+/// grammar admits the keyword at the start of a line) and fills \p Prelude
+/// with everything before the first marker — the program/param header every
+/// routine's analysis can see. Returns no slices when the file has no
+/// markers: such a file is one implicit routine and the whole-file cache
+/// entry already covers it at routine granularity.
+std::vector<RoutineSlice> sliceRoutineSources(const std::string &Source,
+                                              std::string &Prelude);
+
+/// The content-addressed key for one routine's per-routine pass artifacts:
+/// a digest of (version, options fingerprint, pipeline fingerprint, prelude,
+/// start line, routine text). The start line is key material because cached
+/// diagnostics carry absolute line numbers — an edit that shifts a routine
+/// invalidates it, while an in-place edit of one routine leaves every other
+/// routine's key (and so its cache entry) intact.
+CacheKey routineCacheKey(const std::string &Prelude,
+                         const std::string &RoutineText, int StartLine,
+                         const CompileOptions &Opts,
+                         const Pipeline &P = Pipeline::standard());
 
 /// A pipeline fronted by a result cache.
 class CachedPipeline {
@@ -72,6 +105,15 @@ public:
   bool run(Session &S);
 
 private:
+  /// Populates S.RoutineCache from the source's routine slices (looking up
+  /// each key, installing hits) — or leaves it empty when routine caching
+  /// cannot apply: dump-after hooks and --verify=each need live IR for every
+  /// routine, files without markers have nothing finer than the whole file,
+  /// and duplicate routine names would make keys ambiguous.
+  void setupRoutineCache(Session &S);
+  /// Stores the harvest of every missed routine after a successful run.
+  void storeRoutineResults(Session &S);
+
   ResultCache &Cache;
   const Pipeline &P;
 };

@@ -13,9 +13,13 @@
 #include "support/Json.h"
 #include "support/ResultCache.h"
 #include "support/StrUtil.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "xform/Fuse.h"
 #include "xform/Scalarize.h"
+
+#include <cstdlib>
+#include <cstring>
 
 using namespace gca;
 
@@ -105,13 +109,129 @@ static void traceDecisions(const std::string &Routine, const CommPlan &Plan) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Routine cache segments
+//===----------------------------------------------------------------------===//
+//
+// Per-routine cache values are CachedResult-shaped; the per-pass artifacts a
+// replay must reproduce ride in Value.Dumps as ("diags:<pass>", text) and
+// ("counters:<pass>", text) segments. Diagnostics encode one per line as
+// "<kind> <line> <col> <message>" with backslash and newline escaped (diag
+// messages are single-line by convention, but the encoding must not corrupt
+// one that is not); counter deltas encode as "<value> <name>" lines. Replay
+// re-appends the diagnostics through DiagEngine::append — emission order and
+// the error tally survive — and re-adds the counter deltas inside the pass
+// that originally produced them, so per-pass counter attribution in the time
+// report is identical to a cold run.
+
+static std::string escapeSegmentText(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+static std::string unescapeSegmentText(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I != S.size(); ++I) {
+    if (S[I] == '\\' && I + 1 != S.size()) {
+      ++I;
+      Out += S[I] == 'n' ? '\n' : S[I];
+    } else {
+      Out += S[I];
+    }
+  }
+  return Out;
+}
+
+/// Encodes Diags[Begin..] — the diagnostics one routine's pass emitted.
+static std::string encodeDiagSegment(const std::vector<Diag> &Diags,
+                                     size_t Begin) {
+  std::string Out;
+  for (size_t I = Begin; I < Diags.size(); ++I) {
+    const Diag &D = Diags[I];
+    Out += strFormat("%d %d %d %s\n", static_cast<int>(D.Kind), D.Loc.Line,
+                     D.Loc.Col, escapeSegmentText(D.Message).c_str());
+  }
+  return Out;
+}
+
+static void replayDiagSegment(const std::string &Text, DiagEngine &Diags) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    char *Cursor = Line.data();
+    long Kind = std::strtol(Cursor, &Cursor, 10);
+    long Ln = std::strtol(Cursor, &Cursor, 10);
+    long Col = std::strtol(Cursor, &Cursor, 10);
+    if (*Cursor == ' ')
+      ++Cursor;
+    Diag D;
+    D.Kind = static_cast<DiagKind>(Kind);
+    D.Loc = SourceLoc{static_cast<int>(Ln), static_cast<int>(Col)};
+    D.Message = unescapeSegmentText(std::string(Cursor));
+    Diags.append(std::move(D));
+  }
+}
+
+static std::string encodeCounterSegment(const StatsRegistry::Snapshot &Delta) {
+  std::string Out;
+  for (const auto &[Name, Value] : Delta)
+    Out += strFormat("%lld %s\n", static_cast<long long>(Value), Name.c_str());
+  return Out;
+}
+
+static void replayCounterSegment(const std::string &Text,
+                                 StatsRegistry &Stats) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    char *Cursor = Line.data();
+    long long Value = std::strtoll(Cursor, &Cursor, 10);
+    if (*Cursor == ' ')
+      ++Cursor;
+    if (*Cursor)
+      Stats.add(std::string(Cursor), Value);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-routine passes (routine-cache aware)
+//===----------------------------------------------------------------------===//
+
 static bool passPlacement(Session &S) {
   PlacementOptions POpts = S.Opts.Placement;
   POpts.Stats = &S.Stats;
+  POpts.Pool = S.placementPool();
   for (RoutineResult &RR : S.Result.Routines) {
     ScopedTimer T(S.Times, RR.R->name());
+    if (S.routineCacheHit(RR.R->name())) {
+      S.replayRoutinePass("placement", RR.R->name());
+      continue;
+    }
+    size_t DiagsBefore = S.Diags.diags().size();
+    StatsRegistry::Snapshot StatsBefore;
+    if (S.routineCacheActive())
+      StatsBefore = S.Stats.snapshot();
     RR.Plan = planCommunication(*RR.Ctx, POpts);
     traceDecisions(RR.R->name(), RR.Plan);
+    S.recordRoutinePass("placement", RR, DiagsBefore, StatsBefore);
   }
   verifyAfterPass(S, "placement");
   return true;
@@ -122,10 +242,20 @@ static bool passAudit(Session &S) {
     return true;
   PlacementOptions POpts = S.Opts.Placement;
   POpts.Stats = &S.Stats;
+  POpts.Pool = S.placementPool();
   for (RoutineResult &RR : S.Result.Routines) {
     ScopedTimer T(S.Times, RR.R->name());
+    if (S.routineCacheHit(RR.R->name())) {
+      S.replayRoutinePass("audit", RR.R->name());
+      continue;
+    }
+    size_t DiagsBefore = S.Diags.diags().size();
+    StatsRegistry::Snapshot StatsBefore;
+    if (S.routineCacheActive())
+      StatsBefore = S.Stats.snapshot();
     RR.Audit = auditPlan(*RR.Ctx, RR.Plan, POpts, &S.Diags);
     S.Result.AuditOk = S.Result.AuditOk && RR.Audit.ok();
+    S.recordRoutinePass("audit", RR, DiagsBefore, StatsBefore);
   }
   return true;
 }
@@ -137,8 +267,17 @@ static bool passVerify(Session &S) {
   POpts.Stats = &S.Stats;
   for (RoutineResult &RR : S.Result.Routines) {
     ScopedTimer T(S.Times, RR.R->name());
+    if (S.routineCacheHit(RR.R->name())) {
+      S.replayRoutinePass("verify", RR.R->name());
+      continue;
+    }
+    size_t DiagsBefore = S.Diags.diags().size();
+    StatsRegistry::Snapshot StatsBefore;
+    if (S.routineCacheActive())
+      StatsBefore = S.Stats.snapshot();
     RR.Verify = verifyPlan(*RR.Ctx, RR.Plan, POpts, &S.Diags);
     S.Result.VerifyOk = S.Result.VerifyOk && RR.Verify.ok();
+    S.recordRoutinePass("verify", RR, DiagsBefore, StatsBefore);
   }
   return true;
 }
@@ -149,9 +288,18 @@ static bool passLint(Session &S) {
   for (size_t I = 0; I != S.Result.Routines.size(); ++I) {
     RoutineResult &RR = S.Result.Routines[I];
     ScopedTimer T(S.Times, RR.R->name());
+    if (S.routineCacheHit(RR.R->name())) {
+      S.replayRoutinePass("lint", RR.R->name());
+      continue;
+    }
+    size_t DiagsBefore = S.Diags.diags().size();
+    StatsRegistry::Snapshot StatsBefore;
+    if (S.routineCacheActive())
+      StatsBefore = S.Stats.snapshot();
     int NumWarnings =
         lintRoutine(*RR.Ctx, RR.Plan, S.origBaseline(I), S.Diags);
     S.Stats.add("lint.warnings", NumWarnings);
+    S.recordRoutinePass("lint", RR, DiagsBefore, StatsBefore);
   }
   return true;
 }
@@ -204,6 +352,17 @@ bool Pipeline::run(Session &S) const {
 Session::Session(std::string Source, CompileOptions Opts)
     : Opts(std::move(Opts)), Source(std::move(Source)) {}
 
+Session::~Session() = default;
+
+ThreadPool *Session::placementPool() {
+  if (Opts.Placement.Jobs <= 1)
+    return nullptr;
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(
+        static_cast<unsigned>(Opts.Placement.Jobs), "placement");
+  return Pool.get();
+}
+
 bool Session::run(const Pipeline &P) {
   Result.Ok = P.run(*this);
   return Result.Ok;
@@ -228,6 +387,58 @@ void Session::replayResult(const CachedResult &R) {
   for (const auto &[Name, Value] : R.Counters)
     Stats.add(Name, Value);
   Replayed = true;
+}
+
+Session::RoutineCacheEntry *
+Session::routineCacheEntry(const std::string &Name) {
+  auto It = RoutineCache.find(Name);
+  return It == RoutineCache.end() ? nullptr : &It->second;
+}
+
+bool Session::routineCacheHit(const std::string &Name) {
+  RoutineCacheEntry *E = routineCacheEntry(Name);
+  return E && E->Hit;
+}
+
+void Session::replayRoutinePass(const char *Pass, const std::string &Name) {
+  RoutineCacheEntry *E = routineCacheEntry(Name);
+  if (!E)
+    return;
+  std::string DiagsKey = std::string("diags:") + Pass;
+  std::string CountersKey = std::string("counters:") + Pass;
+  for (const auto &[Key, Text] : E->Value.Dumps) {
+    if (Key == DiagsKey)
+      replayDiagSegment(Text, Diags);
+    else if (Key == CountersKey)
+      replayCounterSegment(Text, Stats);
+  }
+  if (std::strcmp(Pass, "audit") == 0)
+    Result.AuditOk = Result.AuditOk && E->Value.AuditOk;
+  else if (std::strcmp(Pass, "verify") == 0)
+    Result.VerifyOk = Result.VerifyOk && E->Value.VerifyOk;
+}
+
+void Session::recordRoutinePass(const char *Pass, const RoutineResult &RR,
+                                size_t DiagsBefore,
+                                const StatsRegistry::Snapshot &StatsBefore) {
+  RoutineCacheEntry *E = routineCacheEntry(RR.R->name());
+  if (!E || E->Hit)
+    return;
+  std::string DiagSeg = encodeDiagSegment(Diags.diags(), DiagsBefore);
+  if (!DiagSeg.empty())
+    E->Value.Dumps.emplace_back(std::string("diags:") + Pass,
+                                std::move(DiagSeg));
+  std::string CtrSeg = encodeCounterSegment(Stats.diff(StatsBefore));
+  if (!CtrSeg.empty())
+    E->Value.Dumps.emplace_back(std::string("counters:") + Pass,
+                                std::move(CtrSeg));
+  if (std::strcmp(Pass, "placement") == 0) {
+    E->Value.Plans.emplace_back(RR.R->name(), RR.Plan.str(*RR.R));
+  } else if (std::strcmp(Pass, "audit") == 0) {
+    E->Value.AuditOk = RR.Audit.ok();
+  } else if (std::strcmp(Pass, "verify") == 0) {
+    E->Value.VerifyOk = RR.Verify.ok();
+  }
 }
 
 const CommPlan *Session::origBaseline(size_t RoutineIdx) {
@@ -275,6 +486,7 @@ std::string Session::timeReportJson() const {
     W.endObject();
   }
   W.endArray();
+  W.key("placement_jobs").value(static_cast<int64_t>(Opts.Placement.Jobs));
   W.key("regions").raw(Times.json());
   W.endObject();
   return W.str();

@@ -31,15 +31,17 @@
 #define GCA_DRIVER_PIPELINE_H
 
 #include "driver/Compile.h"
+#include "support/ResultCache.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 
 #include <functional>
+#include <map>
 
 namespace gca {
 
 class Session;
-struct CachedResult;
+class ThreadPool;
 
 /// One named stage of the pipeline. Fn returns false to abort the run
 /// (a fatal error; the session's Result.Errors is expected to be set).
@@ -77,6 +79,7 @@ private:
 class Session {
 public:
   Session(std::string Source, CompileOptions Opts);
+  ~Session();
   Session(const Session &) = delete;
   Session &operator=(const Session &) = delete;
 
@@ -94,6 +97,51 @@ public:
   /// consumer share one computation. Null when the session's own strategy
   /// already is Orig.
   const CommPlan *origBaseline(size_t RoutineIdx);
+
+  /// --- Routine-granularity incremental recompilation -------------------
+  ///
+  /// On a whole-file cache miss, CachedPipeline slices the source into
+  /// per-routine texts and keys each on (cache version, options, pipeline,
+  /// prelude, routine text, routine start line). A hit replays that
+  /// routine's placement/audit/verify/lint artifacts — plan text, per-pass
+  /// diagnostics, per-pass counters — while the passes recompute only the
+  /// routines whose key changed; an in-place edit of one routine in a
+  /// multi-routine file therefore costs one routine recompilation. The
+  /// start line in the key keeps replayed diagnostic line numbers honest:
+  /// an edit that shifts later routines invalidates their keys.
+  struct RoutineCacheEntry {
+    CacheKey Key;
+    bool Hit = false;
+    /// On a hit: the replayed artifacts. On a miss: the harvest under
+    /// construction — the pass loops record per-pass diag/counter segments
+    /// here and CachedPipeline stores the finished entry after the run.
+    CachedResult Value;
+  };
+  /// Keyed by routine name; empty when routine caching is inactive (no
+  /// cache, no `routine` markers, or a dump-after hook that needs live IR).
+  std::map<std::string, RoutineCacheEntry> RoutineCache;
+
+  bool routineCacheActive() const { return !RoutineCache.empty(); }
+  /// Entry for \p Name; null when routine caching is inactive or the
+  /// routine matched no source slice.
+  RoutineCacheEntry *routineCacheEntry(const std::string &Name);
+  /// True when \p Name's per-routine passes replay from the cache.
+  bool routineCacheHit(const std::string &Name);
+  /// Replays pass \p Pass's cached diagnostics and counters for routine
+  /// \p Name (and its audit/verify verdict flags into Result).
+  void replayRoutinePass(const char *Pass, const std::string &Name);
+  /// Records pass \p Pass's diagnostic and counter deltas for routine
+  /// \p RR into its harvest-in-progress.
+  void recordRoutinePass(const char *Pass, const RoutineResult &RR,
+                         size_t DiagsBefore,
+                         const StatsRegistry::Snapshot &StatsBefore);
+
+  /// The worker pool the parallel placement and audit phases run on, built
+  /// lazily with Opts.Placement.Jobs workers on first request. Null when
+  /// Jobs <= 1 (fully serial compilation). Owned by the session so
+  /// concurrent sessions never share a pool (reentrancy), and reused across
+  /// every routine and pass of this compilation.
+  ThreadPool *placementPool();
 
   /// Installs a ResultCache hit into this session without running any pass:
   /// Result gains the cached flags, errors, rendered diagnostics and plan
@@ -132,6 +180,7 @@ public:
 
 private:
   std::vector<std::unique_ptr<CommPlan>> Baselines;
+  std::unique_ptr<ThreadPool> Pool;
   bool Taken = false;
   /// Set by replayResult(): take() must keep the replayed Diagnostics
   /// instead of re-rendering the (empty) DiagEngine.

@@ -46,7 +46,10 @@ std::string TemplateSig::str() const {
   for (const auto &D : Dims)
     Parts.push_back(strFormat("%lld:%s", static_cast<long long>(D.first),
                               distKindName(D.second)));
-  return "[" + join(Parts, ",") + "]";
+  std::string Out = "[";
+  Out += join(Parts, ",");
+  Out += ']';
+  return Out;
 }
 
 TemplateSig gca::templateSigOf(const ArrayDecl &A) {

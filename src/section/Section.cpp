@@ -178,5 +178,8 @@ std::string RegSection::str(const std::vector<std::string> *VarNames) const {
       P += strFormat(":%lld", static_cast<long long>(D.Step));
     Parts.push_back(std::move(P));
   }
-  return "(" + join(Parts, ",") + ")";
+  std::string Out = "(";
+  Out += join(Parts, ",");
+  Out += ')';
+  return Out;
 }

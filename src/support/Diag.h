@@ -55,6 +55,15 @@ public:
   void note(SourceLoc Loc, const char *Fmt, ...)
       __attribute__((format(printf, 3, 4)));
 
+  /// Appends a fully-formed diagnostic verbatim — the replay path of the
+  /// routine-granularity result cache, which stores the structured records
+  /// and re-reports them so cached and cold runs render identical text.
+  void append(Diag D) {
+    if (D.Kind == DiagKind::Error)
+      ++NumErrors;
+    Diags.push_back(std::move(D));
+  }
+
   bool hasErrors() const { return NumErrors > 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diag> &diags() const { return Diags; }

@@ -51,14 +51,18 @@ JsonWriter &JsonWriter::key(const std::string &K) {
   if (!FirstInScope.back())
     Out += ",";
   FirstInScope.back() = false;
-  Out += "\"" + jsonEscape(K) + "\":";
+  Out += '"';
+  Out += jsonEscape(K);
+  Out += "\":";
   AfterKey = true;
   return *this;
 }
 
 JsonWriter &JsonWriter::value(const std::string &S) {
   separate();
-  Out += "\"" + jsonEscape(S) + "\"";
+  Out += '"';
+  Out += jsonEscape(S);
+  Out += '"';
   return *this;
 }
 

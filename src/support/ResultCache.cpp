@@ -235,14 +235,17 @@ std::optional<CachedResult> CachedResult::deserialize(const std::string &S) {
 
 std::string CacheStats::str() const {
   return strFormat("cache: hits=%lld misses=%lld evictions=%lld bytes=%lld "
-                   "entries=%lld disk-hits=%lld disk-errors=%lld",
+                   "entries=%lld disk-hits=%lld disk-errors=%lld "
+                   "routine-hits=%lld routine-misses=%lld",
                    static_cast<long long>(Hits),
                    static_cast<long long>(Misses),
                    static_cast<long long>(Evictions),
                    static_cast<long long>(Bytes),
                    static_cast<long long>(Entries),
                    static_cast<long long>(DiskHits),
-                   static_cast<long long>(DiskErrors));
+                   static_cast<long long>(DiskErrors),
+                   static_cast<long long>(RoutineHits),
+                   static_cast<long long>(RoutineMisses));
 }
 
 std::string CacheStats::json() const {
@@ -255,6 +258,8 @@ std::string CacheStats::json() const {
   W.key("entries").value(Entries);
   W.key("disk_hits").value(DiskHits);
   W.key("disk_errors").value(DiskErrors);
+  W.key("routine_hits").value(RoutineHits);
+  W.key("routine_misses").value(RoutineMisses);
   W.endObject();
   return W.str();
 }
@@ -339,11 +344,20 @@ void ResultCache::evictToBudgetLocked() {
 }
 
 std::optional<CachedResult> ResultCache::lookup(const CacheKey &K) {
+  return lookupTallied(K, /*Routine=*/false);
+}
+
+std::optional<CachedResult> ResultCache::lookupRoutine(const CacheKey &K) {
+  return lookupTallied(K, /*Routine=*/true);
+}
+
+std::optional<CachedResult> ResultCache::lookupTallied(const CacheKey &K,
+                                                       bool Routine) {
   KeyT Key{K.Hi, K.Lo};
   {
     std::lock_guard<std::mutex> L(Mu);
     if (Entry *E = findLocked(Key)) {
-      ++NHits;
+      ++(Routine ? NRoutineHits : NHits);
       traceCacheInstant("cache-hit", K, static_cast<int64_t>(E->Bytes));
       return E->Result;
     }
@@ -355,7 +369,7 @@ std::optional<CachedResult> ResultCache::lookup(const CacheKey &K) {
     {
       std::lock_guard<std::mutex> L(Mu);
       insertLocked(Key, *D);
-      ++NHits;
+      ++(Routine ? NRoutineHits : NHits);
       ++NDiskHits;
       Resident = static_cast<int64_t>(MemBytes);
     }
@@ -365,7 +379,7 @@ std::optional<CachedResult> ResultCache::lookup(const CacheKey &K) {
   }
   {
     std::lock_guard<std::mutex> L(Mu);
-    ++NMisses;
+    ++(Routine ? NRoutineMisses : NMisses);
   }
   traceCacheInstant("cache-miss", K, -1);
   return std::nullopt;
@@ -459,6 +473,8 @@ CacheStats ResultCache::stats() const {
   S.Entries = static_cast<int64_t>(Mem.size());
   S.DiskHits = NDiskHits;
   S.DiskErrors = NDiskErrors;
+  S.RoutineHits = NRoutineHits;
+  S.RoutineMisses = NRoutineMisses;
   return S;
 }
 

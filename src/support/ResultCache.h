@@ -104,6 +104,12 @@ struct CacheStats {
   int64_t Entries = 0;    ///< Memory-tier entries currently resident.
   int64_t DiskHits = 0;   ///< Subset of Hits that came from the disk tier.
   int64_t DiskErrors = 0; ///< Corrupt/unwritable disk entries encountered.
+  /// Routine-granularity lookups (CachedPipeline's incremental
+  /// recompilation): tallied separately from the whole-file counters so
+  /// "how many routines replayed" is directly visible — and so existing
+  /// whole-file hit/miss expectations stay unperturbed.
+  int64_t RoutineHits = 0;
+  int64_t RoutineMisses = 0;
 
   /// One-line "cache: hits=... misses=..." rendering (the --cache-stats
   /// output of gca-compile).
@@ -132,6 +138,11 @@ public:
   /// disk-tier hits are promoted into the memory tier.
   std::optional<CachedResult> lookup(const CacheKey &K);
 
+  /// lookup() for a routine-granularity key: identical storage and tiers,
+  /// but tallied under the cache.routine-{hits,misses} counters instead of
+  /// the whole-file ones.
+  std::optional<CachedResult> lookupRoutine(const CacheKey &K);
+
   /// Inserts \p R under \p K in both tiers (overwriting any prior entry).
   void store(const CacheKey &K, const CachedResult &R);
 
@@ -154,6 +165,7 @@ private:
     std::list<KeyT>::iterator LruIt;
   };
 
+  std::optional<CachedResult> lookupTallied(const CacheKey &K, bool Routine);
   Entry *findLocked(const KeyT &K);
   void insertLocked(const KeyT &K, const CachedResult &R);
   void evictToBudgetLocked();
@@ -170,6 +182,7 @@ private:
   size_t MemBytes = 0;
   int64_t NHits = 0, NMisses = 0, NEvictions = 0, NDiskHits = 0,
           NDiskErrors = 0;
+  int64_t NRoutineHits = 0, NRoutineMisses = 0;
 };
 
 } // namespace gca

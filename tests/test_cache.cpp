@@ -573,3 +573,231 @@ TEST(ResultCacheTest, ConcurrentDistinctKeysDoNotSerialize) {
     EXPECT_EQ(R->Diagnostics, std::to_string(I));
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Routine-granularity incremental recompilation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// \p N copies of a jacobi-like routine (r0..rN-1) behind a shared
+/// program/param prelude. \p EditedIdx >= 0 rewrites that routine's stencil
+/// in place — same line count, so every other routine keeps its start line.
+std::string multiRoutineSource(int N, int EditedIdx = -1) {
+  std::string Src = "program multi\nparam n = 64\n";
+  for (int I = 0; I != N; ++I) {
+    const char *Rhs = I == EditedIdx ? "b(1:n-2) + b(1:n-2)" : "b(1:n-2) + b(3:n)";
+    Src += "routine r" + std::to_string(I) + "\n";
+    Src += "real a(n) distribute (block)\n";
+    Src += "real b(n) distribute (block)\n";
+    Src += "begin\n";
+    Src += "  do t = 1, 4\n";
+    Src += std::string("    a(2:n-1) = ") + Rhs + "\n";
+    Src += "    b(1:n) = a(1:n)\n";
+    Src += "  end do\n";
+    Src += "end\n";
+  }
+  return Src;
+}
+
+/// Compiles \p Src through CachedPipeline (or plainly when \p Cache is
+/// null) and renders everything observable.
+Observed compileObserved(const std::string &Src, const CompileOptions &Opts,
+                         ResultCache *Cache) {
+  Session S(Src, Opts);
+  if (Cache) {
+    CachedPipeline CP(*Cache);
+    CP.run(S);
+  } else {
+    S.run();
+  }
+  return observe(S);
+}
+
+CompileOptions routineCacheOptions() {
+  CompileOptions Opts;
+  Opts.Audit = true;
+  Opts.Lint = true; // No DumpAfter: dump hooks disable routine caching.
+  return Opts;
+}
+
+} // namespace
+
+TEST(RoutineCacheTest, SlicingFindsEveryRoutineAndThePrelude) {
+  std::string Src = multiRoutineSource(3);
+  std::string Prelude;
+  std::vector<RoutineSlice> Slices = sliceRoutineSources(Src, Prelude);
+  ASSERT_EQ(Slices.size(), 3u);
+  EXPECT_EQ(Prelude, "program multi\nparam n = 64\n");
+  std::string Rebuilt = Prelude;
+  int Line = 3; // Prelude is two lines; first marker is line 3.
+  for (size_t I = 0; I != Slices.size(); ++I) {
+    std::string Name = "r";
+    Name += std::to_string(I);
+    EXPECT_EQ(Slices[I].Name, Name);
+    EXPECT_EQ(Slices[I].StartLine, Line);
+    Line += 9; // Each routine block is nine lines.
+    Rebuilt += Slices[I].Text;
+  }
+  // Slicing is a partition: prelude + slices reassemble the exact source.
+  EXPECT_EQ(Rebuilt, Src);
+
+  // No markers -> no slices (implicit single routine; whole-file entry
+  // already covers it).
+  std::string Single = "program s\nreal a(4) distribute (block)\nbegin\na = 1\nend\n";
+  EXPECT_TRUE(sliceRoutineSources(Single, Prelude).empty());
+}
+
+TEST(RoutineCacheTest, OneEditRecompilesExactlyOneRoutine) {
+  // The acceptance scenario: a 10-routine file, one in-place edit. The
+  // second compile misses at whole-file granularity but must replay the
+  // nine untouched routines — exactly 1 routine miss, 9 routine hits — and
+  // its output must be bitwise-identical to an uncached compile.
+  ResultCache Cache;
+  CompileOptions Opts = routineCacheOptions();
+  std::string A = multiRoutineSource(10);
+  std::string B = multiRoutineSource(10, /*EditedIdx=*/4);
+
+  Observed Cold = compileObserved(A, Opts, &Cache);
+  ASSERT_TRUE(Cold.Ok);
+  CacheStats S0 = Cache.stats();
+  EXPECT_EQ(S0.Misses, 1);
+  EXPECT_EQ(S0.RoutineMisses, 10);
+  EXPECT_EQ(S0.RoutineHits, 0);
+
+  Observed Warm = compileObserved(B, Opts, &Cache);
+  ASSERT_TRUE(Warm.Ok);
+  CacheStats S1 = Cache.stats();
+  EXPECT_EQ(S1.Misses, 2);
+  EXPECT_EQ(S1.RoutineHits, 9);
+  EXPECT_EQ(S1.RoutineMisses, 11);
+
+  EXPECT_EQ(Warm, compileObserved(B, Opts, nullptr));
+}
+
+TEST(RoutineCacheTest, StartLineShiftInvalidatesLaterRoutines) {
+  // Growing the first routine by a line shifts every later routine's start
+  // line. Cached diagnostics carry absolute line numbers, so all of them
+  // must miss — the start line is key material, not just the slice text.
+  ResultCache Cache;
+  CompileOptions Opts = routineCacheOptions();
+  std::string A = multiRoutineSource(5);
+  std::string Grown = A;
+  size_t FirstDo = Grown.find("  do t = 1, 4\n");
+  ASSERT_NE(FirstDo, std::string::npos);
+  Grown.insert(FirstDo, "  a(1:n) = b(1:n)\n");
+
+  Observed Cold = compileObserved(A, Opts, &Cache);
+  ASSERT_TRUE(Cold.Ok);
+  Observed Warm = compileObserved(Grown, Opts, &Cache);
+  ASSERT_TRUE(Warm.Ok);
+  CacheStats S1 = Cache.stats();
+  EXPECT_EQ(S1.RoutineHits, 0);
+  EXPECT_EQ(S1.RoutineMisses, 10);
+  EXPECT_EQ(Warm, compileObserved(Grown, Opts, nullptr));
+}
+
+TEST(RoutineCacheTest, PlacementJobsAreNotKeyMaterial) {
+  // Plans and diagnostics are bitwise-identical at any --placement-jobs
+  // (tests/test_pipeline.cpp pins this), so Jobs is deliberately excluded
+  // from both whole-file and routine keys: entries stored by a serial
+  // compile must replay for a parallel one.
+  ResultCache Cache;
+  CompileOptions Opts = routineCacheOptions();
+  std::string A = multiRoutineSource(6);
+  std::string B = multiRoutineSource(6, /*EditedIdx=*/2);
+
+  Observed Serial = compileObserved(A, Opts, &Cache);
+  ASSERT_TRUE(Serial.Ok);
+  CompileOptions Par = Opts;
+  Par.Placement.Jobs = 8;
+  Observed Warm = compileObserved(B, Par, &Cache);
+  ASSERT_TRUE(Warm.Ok);
+  CacheStats S1 = Cache.stats();
+  EXPECT_EQ(S1.RoutineHits, 5);
+  EXPECT_EQ(S1.RoutineMisses, 7);
+  EXPECT_EQ(Warm, compileObserved(B, Opts, nullptr));
+}
+
+TEST(RoutineCacheTest, ReplayedLintWarningsAreBitwiseIdentical) {
+  // A routine whose global placement brings no improvement draws a
+  // [no-comm-benefit] lint warning with an absolute source line. Replaying
+  // it from the routine cache must reproduce the warning byte-for-byte.
+  auto Jacobi = [](const char *Init) {
+    std::string Src = "program jac\nparam n = 32\nparam nsteps = 4\n";
+    for (const char *Name : {"ja", "jb"}) {
+      Src += std::string("routine ") + Name + "\n";
+      Src += "real u(n,n) distribute (block,block)\n";
+      Src += "real unew(n,n) distribute (block,block)\n";
+      Src += "real resid\n";
+      Src += "begin\n";
+      Src += std::string("  u = ") + (Name[1] == 'a' ? Init : "1") + "\n";
+      Src += "  unew = 0\n";
+      Src += "  do t = 1, nsteps\n";
+      Src += "    unew(2:n-1,2:n-1) = u(1:n-2,2:n-1) + u(3:n,2:n-1)\n";
+      Src += "    resid = sum(unew(1,1:n))\n";
+      Src += "    u(1:n,1:n) = unew(1:n,1:n)\n";
+      Src += "  end do\n";
+      Src += "end\n";
+    }
+    return Src;
+  };
+  ResultCache Cache;
+  CompileOptions Opts = routineCacheOptions();
+  std::string A = Jacobi("1");
+  std::string B = Jacobi("2"); // In-place edit of routine `ja` only.
+
+  Observed Cold = compileObserved(A, Opts, &Cache);
+  ASSERT_TRUE(Cold.Ok);
+  Observed Warm = compileObserved(B, Opts, &Cache);
+  ASSERT_TRUE(Warm.Ok);
+  EXPECT_EQ(Cache.stats().RoutineHits, 1); // `jb` replays, `ja` recomputes.
+  Observed Ref = compileObserved(B, Opts, nullptr);
+  EXPECT_FALSE(Ref.Diagnostics.empty()); // The warning must exist to replay.
+  EXPECT_EQ(Warm.Diagnostics, Ref.Diagnostics);
+  EXPECT_EQ(Warm, Ref);
+}
+
+TEST(RoutineCacheTest, GatesDisableRoutineCaching) {
+  // Dump-after hooks need live IR for every routine, and a file without
+  // `routine` markers has nothing finer than the whole-file entry: in both
+  // cases the routine tallies must stay untouched.
+  {
+    ResultCache Cache;
+    CompileOptions Opts = routineCacheOptions();
+    Opts.DumpAfter = "placement";
+    compileObserved(multiRoutineSource(4), Opts, &Cache);
+    compileObserved(multiRoutineSource(4, 1), Opts, &Cache);
+    EXPECT_EQ(Cache.stats().RoutineHits, 0);
+    EXPECT_EQ(Cache.stats().RoutineMisses, 0);
+  }
+  {
+    ResultCache Cache;
+    CompileOptions Opts = routineCacheOptions();
+    compileObserved(figure4Workload().Source, Opts, &Cache);
+    compileObserved(figure4Workload().Source, Opts, &Cache);
+    EXPECT_EQ(Cache.stats().Hits, 1);
+    EXPECT_EQ(Cache.stats().RoutineHits, 0);
+    EXPECT_EQ(Cache.stats().RoutineMisses, 0);
+  }
+}
+
+TEST(RoutineCacheTest, RoutineKeySensitivity) {
+  CompileOptions Opts = routineCacheOptions();
+  std::string Prelude = "program p\nparam n = 8\n";
+  std::string Text = "routine r\nbegin\nend\n";
+  CacheKey K0 = routineCacheKey(Prelude, Text, 3, Opts);
+  // Same inputs -> same key.
+  EXPECT_EQ(K0.hex(), routineCacheKey(Prelude, Text, 3, Opts).hex());
+  // Any ingredient flip -> different key.
+  EXPECT_NE(K0.hex(), routineCacheKey(Prelude + "param m = 2\n", Text, 3, Opts).hex());
+  EXPECT_NE(K0.hex(), routineCacheKey(Prelude, "routine r\nbegin\nend\n ", 3, Opts).hex());
+  EXPECT_NE(K0.hex(), routineCacheKey(Prelude, Text, 4, Opts).hex());
+  CompileOptions Strat = Opts;
+  Strat.Placement.Strat = Strategy::Orig;
+  EXPECT_NE(K0.hex(), routineCacheKey(Prelude, Text, 3, Strat).hex());
+  // ...except Jobs, which never changes outputs.
+  CompileOptions Jobs = Opts;
+  Jobs.Placement.Jobs = 8;
+  EXPECT_EQ(K0.hex(), routineCacheKey(Prelude, Text, 3, Jobs).hex());
+}

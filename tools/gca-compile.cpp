@@ -280,6 +280,10 @@ int usage(const char *Argv0) {
       "log\n"
       "                         (incompatible with --cache)\n"
       "  --jobs N, -j N         compile N inputs concurrently (default 1)\n"
+      "  --placement-jobs=N     fan the placement analysis and plan audit\n"
+      "                         of each routine across N worker threads;\n"
+      "                         plans, stats, and decision logs are\n"
+      "                         bitwise-identical at any N (default 1)\n"
       "  --stats                print the counter registry per input\n"
       "  --time-report[=json]   per-pass timing (and counter) report\n"
       "  --dump-after=PASS      dump program/plans after PASS (or 'all')\n"
@@ -342,6 +346,12 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       Opts.Jobs =
           static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    } else if (Arg.rfind("--placement-jobs=", 0) == 0) {
+      Opts.Compile.Placement.Jobs = static_cast<int>(
+          std::strtol(Arg.c_str() + std::strlen("--placement-jobs="), nullptr,
+                      10));
+      if (Opts.Compile.Placement.Jobs < 1)
+        return usage(argv[0]);
     } else if (Arg == "--stats") {
       Opts.Stats = true;
     } else if (Arg == "--time-report") {
@@ -520,6 +530,8 @@ int main(int argc, char **argv) {
       Snap.Counters["cache.evictions"] = CS.Evictions;
       Snap.Counters["cache.disk-hits"] = CS.DiskHits;
       Snap.Counters["cache.disk-errors"] = CS.DiskErrors;
+      Snap.Counters["cache.routine-hits"] = CS.RoutineHits;
+      Snap.Counters["cache.routine-misses"] = CS.RoutineMisses;
     }
     Snap.addHistogram("compile.wall_ns", Wall);
     if (Opts.Compile.Verify != VerifyMode::Off)
