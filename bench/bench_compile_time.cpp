@@ -15,6 +15,8 @@
 
 #include "driver/Compile.h"
 #include "driver/Pipeline.h"
+#include "driver/Serve.h"
+#include "support/Frame.h"
 #include "support/Json.h"
 #include "support/ResultCache.h"
 #include "support/Stats.h"
@@ -28,6 +30,9 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace gca;
 
@@ -347,6 +352,54 @@ void writeResultsFile(const char *Path) {
         S.Stats.get("placement.entries-detected");
     Snap.Counters["synth.n10000.placement_plus_audit_jobs8_ns"] = PA;
     Snap.Counters["synth.n10000.wall_jobs8_ns"] = WallNs;
+  }
+
+  // Compile-server round-trip latency: an in-process CompileServer serving
+  // one socketpair connection, a synchronous client issuing 32 requests of
+  // a small seeded synthetic routine set. Client-side wall time per request
+  // covers framing, dispatch, the compilation itself, and the response
+  // write. The serve.*_ns metrics are tracked warn-only by bench_gate:
+  // daemon round-trip latency is scheduling-sensitive on shared runners.
+  {
+    ServerConfig Config;
+    CompileServer Server(Config);
+    int SV[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, SV) == 0) {
+      std::thread Conn([&Server, Fd = SV[0]] {
+        Server.serveConnection(Fd, Fd);
+        ::close(Fd);
+      });
+      SynthSpec Spec;
+      Spec.Nests = 60;
+      Spec.Seed = 1;
+      CompileRequest Req;
+      Req.Source = synthSource(Spec);
+      Req.Name = "serve-bench";
+      Histogram Lat;
+      constexpr int Requests = 32;
+      for (int I = 0; I != Requests; ++I) {
+        Req.Id = I;
+        std::string Wire = buildCompileRequestJson(Req);
+        int64_t T0 = nowNs();
+        if (writeFrame(SV[1], Wire) != FrameStatus::Ok)
+          break;
+        std::string RespWire;
+        if (readFrame(SV[1], RespWire) != FrameStatus::Ok)
+          break;
+        Lat.record(nowNs() - T0);
+      }
+      ::close(SV[1]);
+      Server.requestDrain();
+      Conn.join();
+      Server.wait();
+      Snap.Counters["serve.requests"] = Lat.count();
+      Snap.Counters["serve.p50_ns"] =
+          static_cast<int64_t>(Lat.quantile(0.5));
+      Snap.Counters["serve.p95_ns"] =
+          static_cast<int64_t>(Lat.quantile(0.95));
+      Snap.Counters["serve.p99_ns"] =
+          static_cast<int64_t>(Lat.quantile(0.99));
+    }
   }
 
   // The gate scales its parallel-speedup expectation by the recording host:

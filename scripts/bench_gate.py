@@ -140,6 +140,23 @@ def main():
             continue
         ratio = c / b
         warn_at = WARN_THRESHOLDS.get(key, DEFAULT_WARN)
+
+        # Compile-server round-trip latency is scheduling-sensitive (it
+        # measures a daemon thread handoff, not just compiler work), so the
+        # serve.* metrics never fail the gate -- they warn, even past
+        # --hard-fail, so the trend stays visible without gating merges on
+        # runner scheduling noise.
+        if key.startswith("serve."):
+            if ratio > warn_at:
+                warnings.append(f"{key}: {c} vs baseline {b} "
+                                f"({ratio:.2f}x > {warn_at}x, warn-only)")
+                verdict = "warn"
+            else:
+                verdict = "ok"
+            print(f"  {verdict:<6} {key} ratio {ratio:.2f} "
+                  f"(current {c}, baseline {b})")
+            continue
+
         verdict = "ok"
         if ratio > args.hard_fail:
             failures.append(f"{key}: {c} vs baseline {b} "

@@ -11,9 +11,10 @@
 #      a serial run, that intra-compilation parallel placement
 #      (--placement-jobs=8) is race-free over the examples and a fuzz
 #      shard, that the shared result cache is race-free and single-flight
-#      under 8-way duplicated inputs, and that the trace collector's
+#      under 8-way duplicated inputs, that the trace collector's
 #      lock-free per-thread lanes are race-free under an 8-way traced
-#      batch compile.
+#      batch compile, and that the compile server is race-free under an
+#      8-client gca-load mix followed by a SIGTERM drain.
 # Usage: scripts/check.sh [extra cmake args...]
 set -euo pipefail
 
@@ -85,5 +86,27 @@ build-tsan/tools/gca-compile --workloads --jobs 8 --cache=mem \
   --histogram "$J" > /dev/null
 python3 scripts/validate_trace.py build-tsan/trace.json \
   --min-worker-lanes 8 --expect-decisions
+
+echo "== thread sanitizer run (compile server under load) =="
+# The daemon's full concurrency surface under TSan: the accept loop, one
+# connection thread per client, the worker pool, the shared result cache,
+# and the drain path all running at once. Eight checked clients replay the
+# workload + synth mix (every response bitwise-compared against a local
+# compilation), then SIGTERM drains the server mid-idle and the run report
+# plus scraped metrics are cross-checked by validate_load.py.
+cmake --build build-tsan -j "$JOBS" --target gca-load
+SRVDIR=$(mktemp -d)
+trap 'rm -rf "$SRVDIR"' EXIT
+build-tsan/tools/gca-compile --serve="$SRVDIR/s.sock" --cache \
+  2> "$SRVDIR/serve.log" & SRV=$!
+for _ in $(seq 100); do [ -S "$SRVDIR/s.sock" ] && break; sleep 0.1; done
+build-tsan/tools/gca-load --socket="$SRVDIR/s.sock" --workloads \
+  --synth=60 --synth-count=2 --clients=8 --requests=64 --check --metrics \
+  > "$SRVDIR/load.json"
+kill -TERM "$SRV"
+wait "$SRV" || { cat "$SRVDIR/serve.log"; exit 1; }
+grep -q 'drained' "$SRVDIR/serve.log"
+python3 scripts/validate_load.py "$SRVDIR/load.json" \
+  --min-clients 8 --require-metrics
 
 echo "== all checks passed =="

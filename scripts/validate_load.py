@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a gca-load run against the compile-server acceptance bars.
+
+Input is the load tool's stdout: line 1 is the run report, line 2 (when the
+run was invoked with --metrics) is the server's scraped metrics snapshot.
+The checks encode what the load harness is for, independent of gca-load's
+own exit code, so CI cross-checks the tool rather than trusting it:
+
+  report    slo_pass true, zero mismatches / protocol errors, at least one
+            served request, client count at or above --min-clients, latency
+            quantiles ordered (p50 <= p95 <= p99), and request accounting
+            that closes: every issued request is ok, a compile error,
+            overloaded, a timeout, or a draining rejection.
+  shedding  --expect-overloaded requires at least one overloaded response
+            (the saturation run must actually saturate); without it any
+            shedding is a violation (the steady-state mix must not shed).
+  metrics   the scraped snapshot must parse, count at least as many
+            requests as the report issued, and carry a latency histogram.
+
+Exit codes: 0 ok, 1 violation, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_load: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("load_output",
+                    help="file holding gca-load stdout (report line, "
+                         "optionally followed by the metrics line)")
+    ap.add_argument("--min-clients", type=int, default=8,
+                    help="minimum concurrent clients (default 8)")
+    ap.add_argument("--expect-overloaded", action="store_true",
+                    help="require at least one overloaded response; "
+                         "without this flag any shedding is a violation")
+    ap.add_argument("--require-metrics", action="store_true",
+                    help="fail when no metrics line is present")
+    ap.add_argument("--max-p99-ms", type=float, default=0.0,
+                    help="optional absolute p99 bound in milliseconds")
+    args = ap.parse_args()
+
+    try:
+        with open(args.load_output) as f:
+            lines = [l for l in f.read().splitlines() if l.strip()]
+    except OSError as e:
+        print(f"validate_load: error: cannot read "
+              f"'{args.load_output}': {e}", file=sys.stderr)
+        return 2
+    if not lines:
+        print(f"validate_load: error: '{args.load_output}' is empty",
+              file=sys.stderr)
+        return 2
+    try:
+        report = json.loads(lines[0])
+        metrics = json.loads(lines[1]) if len(lines) > 1 else None
+    except ValueError as e:
+        return fail(f"output is not valid JSON: {e}")
+
+    status = 0
+
+    def check(ok, msg):
+        nonlocal status
+        if ok:
+            print(f"  ok     {msg}")
+        else:
+            status = fail(msg) or status
+
+    # --- report line ---------------------------------------------------
+    for key in ("requests", "clients", "ok", "compile_errors", "overloaded",
+                "timeouts", "draining", "mismatches", "protocol_errors",
+                "p50_ms", "p95_ms", "p99_ms", "slo_pass"):
+        if key not in report:
+            return fail(f"report is missing '{key}'")
+
+    check(report["slo_pass"] is True, "slo_pass")
+    check(report["mismatches"] == 0,
+          f"mismatches == 0 (got {report['mismatches']})")
+    check(report["protocol_errors"] == 0,
+          f"protocol_errors == 0 (got {report['protocol_errors']})")
+    check(report["ok"] >= 1, f"served at least one request ({report['ok']})")
+    check(report["clients"] >= args.min_clients,
+          f"clients {report['clients']} >= {args.min_clients}")
+
+    answered = (report["ok"] + report["compile_errors"] +
+                report["overloaded"] + report["timeouts"] +
+                report["draining"])
+    check(answered == report["requests"],
+          f"request accounting closes ({answered} answered of "
+          f"{report['requests']} issued)")
+
+    p50, p95, p99 = report["p50_ms"], report["p95_ms"], report["p99_ms"]
+    check(p50 <= p95 <= p99,
+          f"latency quantiles ordered (p50={p50} p95={p95} p99={p99})")
+    if args.max_p99_ms > 0:
+        check(p99 <= args.max_p99_ms,
+              f"p99 {p99}ms <= bound {args.max_p99_ms}ms")
+
+    if args.expect_overloaded:
+        check(report["overloaded"] >= 1,
+              f"saturation shed load ({report['overloaded']} overloaded)")
+    else:
+        check(report["overloaded"] == 0,
+              f"steady-state mix shed no load "
+              f"(got {report['overloaded']} overloaded)")
+
+    # --- metrics line --------------------------------------------------
+    if metrics is None:
+        if args.require_metrics:
+            return fail("no metrics line in the load output "
+                        "(run gca-load with --metrics)")
+    else:
+        counters = metrics.get("counters")
+        if not isinstance(counters, dict):
+            return fail("metrics snapshot has no counters object")
+        served = counters.get("server.requests", 0)
+        check(served >= report["requests"],
+              f"server counted every issued request "
+              f"({served} >= {report['requests']})")
+        check(counters.get("server.ok", 0) >= report["ok"],
+              f"server ok counter covers the report "
+              f"({counters.get('server.ok', 0)} >= {report['ok']})")
+        hist = metrics.get("histograms", {})
+        lat = hist.get("server.latency_ns") if isinstance(hist, dict) else None
+        check(isinstance(lat, dict) and lat.get("count", 0) >= report["ok"],
+              "server latency histogram present and populated")
+
+    if status == 0:
+        print(f"validate_load: ok ({report['requests']} requests, "
+              f"{report['clients']} clients, p99 {p99}ms)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,18 @@ public:
   /// Total payload bytes handed out (excludes alignment and block slack).
   size_t bytesAllocated() const { return Allocated; }
 
+  /// Frees every block parked in this thread's cache. Threads that die
+  /// before the process does (thread-pool workers, connection threads) must
+  /// call this on their way out: the cache is deliberately never destructed
+  /// (see BlockCache), so blocks still parked when the thread's storage
+  /// vanishes would otherwise be unreachable — a real leak, and a reported
+  /// one under LeakSanitizer.
+  static void freeThreadCache() {
+    BlockCache &Cache = blockCache();
+    while (Cache.Count != 0)
+      std::free(Cache.Parked[--Cache.Count].Data);
+  }
+
 private:
   struct Block {
     char *Data;

@@ -1,0 +1,100 @@
+//===- support/Frame.cpp - Length-prefixed message framing ----------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Frame.h"
+
+#include "support/Io.h"
+
+#include <cstring>
+
+namespace gca {
+
+const char *frameStatusName(FrameStatus S) {
+  switch (S) {
+  case FrameStatus::Ok:
+    return "ok";
+  case FrameStatus::Eof:
+    return "eof";
+  case FrameStatus::Truncated:
+    return "truncated";
+  case FrameStatus::Garbage:
+    return "garbage";
+  case FrameStatus::Oversized:
+    return "oversized";
+  case FrameStatus::IoError:
+    return "io-error";
+  }
+  return "unknown";
+}
+
+FrameStatus readFrame(int Fd, std::string &Payload, size_t MaxPayload,
+                      uint32_t *DeclaredLen) {
+  Payload.clear();
+  char Header[kFrameHeaderBytes];
+  switch (ioReadFull(Fd, Header, sizeof Header)) {
+  case IoStatus::Ok:
+    break;
+  case IoStatus::Eof:
+    return FrameStatus::Eof;
+  case IoStatus::Short:
+    return FrameStatus::Truncated;
+  case IoStatus::Error:
+    return FrameStatus::IoError;
+  }
+  if (std::memcmp(Header, kFrameMagic, sizeof kFrameMagic) != 0)
+    return FrameStatus::Garbage;
+  uint32_t Len = static_cast<uint8_t>(Header[4]) |
+                 static_cast<uint32_t>(static_cast<uint8_t>(Header[5])) << 8 |
+                 static_cast<uint32_t>(static_cast<uint8_t>(Header[6])) << 16 |
+                 static_cast<uint32_t>(static_cast<uint8_t>(Header[7])) << 24;
+  if (DeclaredLen)
+    *DeclaredLen = Len;
+  if (Len > MaxPayload)
+    return FrameStatus::Oversized;
+  Payload.resize(Len);
+  if (Len == 0)
+    return FrameStatus::Ok;
+  switch (ioReadFull(Fd, &Payload[0], Len)) {
+  case IoStatus::Ok:
+    return FrameStatus::Ok;
+  case IoStatus::Eof:
+  case IoStatus::Short:
+    Payload.clear();
+    return FrameStatus::Truncated;
+  case IoStatus::Error:
+    Payload.clear();
+    return FrameStatus::IoError;
+  }
+  return FrameStatus::IoError;
+}
+
+std::string encodeFrame(const std::string &Payload) {
+  std::string Out;
+  Out.reserve(kFrameHeaderBytes + Payload.size());
+  Out.append(kFrameMagic, sizeof kFrameMagic);
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Out.push_back(static_cast<char>(Len & 0xff));
+  Out.push_back(static_cast<char>((Len >> 8) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 16) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 24) & 0xff));
+  Out += Payload;
+  return Out;
+}
+
+FrameStatus writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > 0xffffffffu)
+    return FrameStatus::IoError;
+  // One buffer, one checked write: a frame is either fully on the wire or
+  // the connection is dead — readers never see a header without its
+  // payload from a healthy peer.
+  std::string Wire = encodeFrame(Payload);
+  return ioWriteFull(Fd, Wire.data(), Wire.size()) == IoStatus::Ok
+             ? FrameStatus::Ok
+             : FrameStatus::IoError;
+}
+
+} // namespace gca

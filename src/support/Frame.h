@@ -1,0 +1,79 @@
+//===- support/Frame.h - Length-prefixed message framing --------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile server's wire format: every message — request or response —
+/// is one frame of
+///
+///   'G' 'C' 'A' 'F'   4-byte magic
+///   <len>             payload length, uint32 little-endian
+///   <payload>         len bytes, one JSON document
+///
+/// over a byte stream (Unix socket or a stdin/stdout pipe pair). The magic
+/// makes desynchronization detectable: a stream that does not start a frame
+/// with the magic is garbage, and since a length prefix cannot be trusted
+/// after that, the only safe recovery is closing the connection. Oversized
+/// and truncated frames are likewise distinguished from clean EOF so the
+/// server can account for them without tearing anything else down.
+///
+/// All transfers go through the checked ioReadFull/ioWriteFull wrappers
+/// (support/Io.h), so framing inherits EINTR/partial-transfer handling and
+/// the GCA_FAULT injection seam.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SUPPORT_FRAME_H
+#define GCA_SUPPORT_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gca {
+
+/// Frame header magic, on the wire in this byte order.
+inline constexpr char kFrameMagic[4] = {'G', 'C', 'A', 'F'};
+
+/// Header size: magic + uint32 length.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Default payload cap. A compile request is source text plus options —
+/// far below this — so anything larger is a protocol error, not a workload.
+inline constexpr size_t kMaxFramePayload = 16u << 20;
+
+enum class FrameStatus : uint8_t {
+  Ok,        ///< A complete frame was transferred.
+  Eof,       ///< Read: clean EOF on a frame boundary (peer finished).
+  Truncated, ///< Read: EOF mid-header or mid-payload.
+  Garbage,   ///< Read: header does not start with the magic; stream is
+             ///< unsynchronized and the connection must be dropped.
+  Oversized, ///< Read: header length exceeds the cap; payload not read.
+  IoError,   ///< read/write failed with a non-retryable errno.
+};
+
+/// Human-readable name ("ok", "eof", ...) for logs and error responses.
+const char *frameStatusName(FrameStatus S);
+
+/// Reads one frame from \p Fd into \p Payload. On Oversized, \p Payload is
+/// cleared and the declared length is left in \p *DeclaredLen when non-null
+/// (the caller may report it before closing; the payload bytes are NOT
+/// consumed, so the connection cannot be reused).
+FrameStatus readFrame(int Fd, std::string &Payload,
+                      size_t MaxPayload = kMaxFramePayload,
+                      uint32_t *DeclaredLen = nullptr);
+
+/// Writes \p Payload as one frame to \p Fd. \returns Ok or IoError;
+/// payloads above 4 GiB - 1 cannot be represented and yield IoError.
+FrameStatus writeFrame(int Fd, const std::string &Payload);
+
+/// Renders the 8-byte header + payload as one contiguous buffer (what
+/// writeFrame puts on the wire) — the seed material for protocol fuzzing.
+std::string encodeFrame(const std::string &Payload);
+
+} // namespace gca
+
+#endif // GCA_SUPPORT_FRAME_H

@@ -1,0 +1,210 @@
+//===- support/Io.cpp - Checked fd I/O and fault injection ----------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gca {
+
+namespace {
+
+/// Briefly waits for \p Fd to become ready for \p Events after an EAGAIN.
+/// Blocking fds should never need this; bounded so an injected EAGAIN storm
+/// degrades to a busy retry, not a hang.
+void pollBriefly(int Fd, short Events) {
+  struct pollfd P;
+  P.fd = Fd;
+  P.events = Events;
+  P.revents = 0;
+  (void)::poll(&P, 1, 1 /*ms*/);
+}
+
+} // namespace
+
+IoStatus ioReadFull(int Fd, void *Buf, size_t Len) {
+  FaultInjector &FI = FaultInjector::instance();
+  char *P = static_cast<char *>(Buf);
+  size_t Done = 0;
+  while (Done != Len) {
+    if (FI.armed()) {
+      // Synthetic errno storms: behave exactly as if the syscall had
+      // returned -1 with errno set, taking the same retry edges real
+      // EINTR/EAGAIN would.
+      if (FI.injectEintr())
+        continue;
+      if (FI.injectEagain()) {
+        pollBriefly(Fd, POLLIN);
+        continue;
+      }
+    }
+    size_t Want = FI.armed() ? FI.clampRead(Len - Done) : Len - Done;
+    ssize_t N = ::read(Fd, P + Done, Want);
+    if (N > 0) {
+      Done += static_cast<size_t>(N);
+      continue;
+    }
+    if (N == 0)
+      return Done == 0 ? IoStatus::Eof : IoStatus::Short;
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollBriefly(Fd, POLLIN);
+      continue;
+    }
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus ioWriteFull(int Fd, const void *Buf, size_t Len) {
+  FaultInjector &FI = FaultInjector::instance();
+  const char *P = static_cast<const char *>(Buf);
+  size_t Done = 0;
+  while (Done != Len) {
+    if (FI.armed()) {
+      if (FI.injectEintr())
+        continue;
+      if (FI.injectEagain()) {
+        pollBriefly(Fd, POLLOUT);
+        continue;
+      }
+    }
+    size_t Want = FI.armed() ? FI.clampWrite(Len - Done) : Len - Done;
+    // send(MSG_NOSIGNAL) keeps a dead peer from raising SIGPIPE; pipes and
+    // regular files are not sockets, so fall back to write(2) on ENOTSOCK.
+    ssize_t N = ::send(Fd, P + Done, Want, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, P + Done, Want);
+    if (N > 0) {
+      Done += static_cast<size_t>(N);
+      continue;
+    }
+    if (N == 0)
+      continue; // Zero-byte write: retry.
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollBriefly(Fd, POLLOUT);
+      continue;
+    }
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector FI;
+  return FI;
+}
+
+bool FaultInjector::configure(const std::string &Spec) {
+  std::lock_guard<std::mutex> L(Mu);
+  Armed.store(false, std::memory_order_relaxed);
+  Injected.store(0, std::memory_order_relaxed);
+  ShortReadPct = ShortWritePct = EagainPct = EintrPct = 0;
+  MaxFaults = 100000;
+  State = 1;
+  if (Spec.empty())
+    return true;
+
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t Eq = Entry.find('=');
+    if (Eq == std::string::npos)
+      return false;
+    std::string Key = Entry.substr(0, Eq);
+    char *Rest = nullptr;
+    long long Value = std::strtoll(Entry.c_str() + Eq + 1, &Rest, 10);
+    if (!Rest || *Rest != '\0' || Value < 0)
+      return false;
+    bool IsPct = Key == "short-read" || Key == "short-write" ||
+                 Key == "eagain" || Key == "eintr";
+    if (IsPct && Value > 100)
+      return false;
+    if (Key == "short-read")
+      ShortReadPct = static_cast<int>(Value);
+    else if (Key == "short-write")
+      ShortWritePct = static_cast<int>(Value);
+    else if (Key == "eagain")
+      EagainPct = static_cast<int>(Value);
+    else if (Key == "eintr")
+      EintrPct = static_cast<int>(Value);
+    else if (Key == "seed")
+      State = static_cast<uint64_t>(Value) * 2654435761u + 12345;
+    else if (Key == "max")
+      MaxFaults = Value;
+    else
+      return false;
+  }
+  Armed.store(ShortReadPct || ShortWritePct || EagainPct || EintrPct,
+              std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::configureFromEnv() {
+  if (const char *E = std::getenv("GCA_FAULT"))
+    (void)configure(E);
+}
+
+void FaultInjector::reset() { (void)configure(""); }
+
+bool FaultInjector::roll(int Percent) {
+  if (Percent <= 0)
+    return false;
+  if (Injected.load(std::memory_order_relaxed) >= MaxFaults)
+    return false;
+  // SplitMix64 step under the lock: deterministic for a given seed and
+  // sequence of calls (single-connection tests), statistically fair under
+  // concurrency.
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  Z ^= Z >> 31;
+  if (static_cast<int>(Z % 100) >= Percent)
+    return false;
+  Injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::injectEagain() {
+  std::lock_guard<std::mutex> L(Mu);
+  return roll(EagainPct);
+}
+
+bool FaultInjector::injectEintr() {
+  std::lock_guard<std::mutex> L(Mu);
+  return roll(EintrPct);
+}
+
+size_t FaultInjector::clampRead(size_t Len) {
+  std::lock_guard<std::mutex> L(Mu);
+  return Len > 1 && roll(ShortReadPct) ? 1 : Len;
+}
+
+size_t FaultInjector::clampWrite(size_t Len) {
+  std::lock_guard<std::mutex> L(Mu);
+  return Len > 1 && roll(ShortWritePct) ? 1 : Len;
+}
+
+} // namespace gca

@@ -1,0 +1,118 @@
+//===- support/Io.h - Checked fd I/O and fault injection --------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place in the tree that calls read(2)/write(2): full-buffer
+/// wrappers that survive partial transfers, EINTR, and spurious EAGAIN, so
+/// every caller (the compile server's framing layer, the load generator,
+/// the CLIs' output paths) shares a single audited retry loop instead of
+/// re-growing the unchecked-write bug class one call site at a time.
+///
+/// The same layer hosts the fault-injection seam: a process-wide
+/// FaultInjector, configured programmatically or from the `GCA_FAULT`
+/// environment variable, that deterministically shortens reads/writes and
+/// synthesizes EAGAIN/EINTR storms *inside* the wrappers. Production code
+/// pays one relaxed atomic load when injection is off; tests turn it on to
+/// prove the server degrades per-connection, never process-wide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SUPPORT_IO_H
+#define GCA_SUPPORT_IO_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace gca {
+
+/// Outcome of a full-buffer transfer.
+enum class IoStatus : uint8_t {
+  Ok,    ///< Every requested byte was transferred.
+  Eof,   ///< Read: the peer closed before the first byte (clean EOF).
+  Short, ///< Read: the peer closed mid-buffer (truncated stream).
+  Error, ///< A non-retryable errno; see the wrapper's errno.
+};
+
+/// Reads exactly \p Len bytes from \p Fd into \p Buf, retrying partial
+/// reads, EINTR, and EAGAIN (blocking fds should not return EAGAIN, but a
+/// fault injector or a misconfigured socket can; the loop polls briefly and
+/// retries). \returns Ok, Eof (zero bytes read), Short (some bytes read,
+/// then EOF), or Error.
+IoStatus ioReadFull(int Fd, void *Buf, size_t Len);
+
+/// Writes exactly \p Len bytes from \p Buf to \p Fd, retrying partial
+/// writes, EINTR, and EAGAIN. Sockets are written with send(MSG_NOSIGNAL)
+/// so a disconnected peer surfaces as EPIPE instead of killing the process
+/// with SIGPIPE; non-socket fds fall back to write(2). \returns Ok or
+/// Error.
+IoStatus ioWriteFull(int Fd, const void *Buf, size_t Len);
+
+/// Deterministic I/O fault injection. One process-wide instance; configure
+/// with a spec string of comma-separated `knob=value` entries:
+///
+///   short-read=P    with probability P%, clamp a read to a 1-byte slice
+///   short-write=P   with probability P%, clamp a write to a 1-byte slice
+///   eagain=P        with probability P%, synthesize EAGAIN before the call
+///   eintr=P         with probability P%, synthesize EINTR before the call
+///   seed=S          PRNG seed (default 1)
+///   max=N           stop injecting after N faults (default 100000)
+///
+/// e.g. `GCA_FAULT=short-read=40,short-write=40,eagain=25,seed=7`. All
+/// injected faults are recoverable by construction — they exercise the
+/// retry loops without ever changing the bytes delivered — so a correct
+/// caller completes identically with injection on or off.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Parses \p Spec and arms the injector. An empty spec disarms. \returns
+  /// false (leaving the injector disarmed) on a malformed spec.
+  bool configure(const std::string &Spec);
+
+  /// configure(getenv("GCA_FAULT")); no-op when the variable is unset.
+  void configureFromEnv();
+
+  /// Disarms and zeroes the counters.
+  void reset();
+
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Total faults injected since the last configure()/reset().
+  int64_t injected() const { return Injected.load(std::memory_order_relaxed); }
+
+  /// --- Hooks called by the wrappers (no-ops when disarmed) --------------
+  /// True when the next read/write should see a synthetic EAGAIN.
+  bool injectEagain();
+  /// True when the next read/write should see a synthetic EINTR.
+  bool injectEintr();
+  /// The transfer length the next read should request: \p Len, or a 1-byte
+  /// slice when a short-read fault fires.
+  size_t clampRead(size_t Len);
+  /// The transfer length the next write should attempt.
+  size_t clampWrite(size_t Len);
+
+private:
+  FaultInjector() = default;
+  bool roll(int Percent);
+
+  std::atomic<bool> Armed{false};
+  std::atomic<int64_t> Injected{0};
+  std::mutex Mu; ///< Guards the PRNG state and knobs below.
+  uint64_t State = 0;
+  int ShortReadPct = 0;
+  int ShortWritePct = 0;
+  int EagainPct = 0;
+  int EintrPct = 0;
+  int64_t MaxFaults = 100000;
+};
+
+} // namespace gca
+
+#endif // GCA_SUPPORT_IO_H

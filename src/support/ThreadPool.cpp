@@ -7,6 +7,7 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Arena.h"
 #include "support/StrUtil.h"
 #include "support/Trace.h"
 
@@ -58,7 +59,7 @@ void ThreadPool::workerLoop(unsigned Index) {
     WorkCV.wait(Lock, [this] { return Shutdown || !Queue.empty(); });
     if (Queue.empty()) {
       if (Shutdown)
-        return;
+        break;
       continue;
     }
     QueuedTask Task = std::move(Queue.front());
@@ -81,4 +82,9 @@ void ThreadPool::workerLoop(unsigned Index) {
     if (Queue.empty() && NumActive == 0)
       IdleCV.notify_all();
   }
+  Lock.unlock();
+  // Arenas destroyed on this worker parked their blocks in its thread-local
+  // cache; the cache dies with the thread, so hand the blocks back to the
+  // allocator instead of leaking them.
+  Arena::freeThreadCache();
 }

@@ -190,3 +190,87 @@ INSTANTIATE_TEST_SUITE_P(Shard0, Fuzz, ::testing::Range(1, 31));
 INSTANTIATE_TEST_SUITE_P(Shard1, Fuzz, ::testing::Range(31, 61));
 INSTANTIATE_TEST_SUITE_P(Shard2, Fuzz, ::testing::Range(61, 91));
 INSTANTIATE_TEST_SUITE_P(Shard3, Fuzz, ::testing::Range(91, 121));
+
+//===----------------------------------------------------------------------===//
+// Protocol fuzz: random byte mutations of valid frames against a live
+// in-process compile server (driver/Serve.h). The oracle: the daemon never
+// crashes, every response it does send parses as JSON, and after each
+// mutation campaign a valid request on a fresh connection is still served
+// with bitwise-correct output. Lives in its own instantiation ("Proto") so
+// tests/CMakeLists.txt can label it fuzz-proto alongside the pipeline
+// shards.
+//===----------------------------------------------------------------------===//
+
+#include "ServeTestUtil.h"
+#include "support/Io.h"
+#include "workloads/Synth.h"
+
+class ProtoFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtoFuzz, MutatedFramesNeverKillTheDaemon) {
+  using namespace gca::servetest;
+  fuzzgen::Rng R(static_cast<uint64_t>(GetParam()) * 7919 + 17);
+
+  SynthSpec Spec;
+  Spec.Nests = 4 + GetParam() % 5;
+  Spec.Seed = static_cast<uint64_t>(GetParam()) + 1;
+  CompileRequest Valid;
+  Valid.Id = 1;
+  Valid.Name = "proto-" + std::to_string(GetParam());
+  Valid.Source = synthSource(Spec);
+  const std::string Expected = runCompileRequest(Valid, nullptr).Output;
+  const std::string ValidFrame = encodeFrame(buildCompileRequestJson(Valid));
+
+  ServerConfig Config;
+  Config.MaxFramePayload = 256 << 10;
+  TestServer TS{Config};
+
+  for (int Round = 0; Round < 120; ++Round) {
+    // Mutate: byte flips, truncation, duplication, or random prefix junk.
+    std::string Mutant = ValidFrame;
+    int Flips = R.range(0, 12);
+    for (int F = 0; F < Flips; ++F)
+      Mutant[static_cast<size_t>(
+          R.range(0, static_cast<int>(Mutant.size()) - 1))] =
+          static_cast<char>(R.range(0, 255));
+    if (R.chance(20))
+      Mutant.resize(static_cast<size_t>(
+          R.range(0, static_cast<int>(Mutant.size()))));
+    if (R.chance(10))
+      Mutant = std::string(static_cast<size_t>(R.range(1, 16)),
+                           static_cast<char>(R.range(0, 255))) +
+               Mutant;
+    if (R.chance(10))
+      Mutant += Mutant;
+
+    int Fd = TS.connect();
+    ASSERT_GE(Fd, 0);
+    (void)ioWriteFull(Fd, Mutant.data(), Mutant.size());
+    // Drain whatever the server answers (possibly nothing); every frame
+    // that does come back must parse.
+    while (readableWithin(Fd, 25)) {
+      std::string Wire;
+      if (readFrame(Fd, Wire) != FrameStatus::Ok)
+        break;
+      JsonValue Doc;
+      std::string Err;
+      EXPECT_TRUE(JsonValue::parse(Wire, Doc, Err))
+          << "round " << Round << ": " << Err;
+    }
+    ::close(Fd);
+
+    if (Round % 15 == 14) {
+      // The daemon is still fully functional: a valid request is served
+      // and its output is bitwise-identical to the one-shot pipeline.
+      int Probe = TS.connect();
+      ASSERT_GE(Probe, 0);
+      gca::JsonValue Resp =
+          sendRecv(Probe, buildCompileRequestJson(Valid));
+      ASSERT_EQ(status(Resp), "ok") << "round " << Round;
+      EXPECT_EQ(output(Resp), Expected) << "round " << Round;
+      ::close(Probe);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Proto, ProtoFuzz, ::testing::Range(0, 8));

@@ -1,0 +1,562 @@
+//===- tests/test_server.cpp - Compile-server protocol tests --------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// Tier-1 coverage for the compile server (driver/Serve.h): framing
+// round-trips, malformed-frame handling that degrades one connection and
+// never the process, bitwise-identity of served responses against the
+// one-shot pipeline, shared-cache accounting across clients, admission
+// control, deadlines, graceful drain under load, I/O fault injection, and a
+// bounded protocol-fuzz pass (the open-ended campaign lives in the
+// `fuzz-proto` shard of gca_fuzz_tests).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ServeTestUtil.h"
+#include "FuzzGen.h"
+#include "support/Io.h"
+#include "workloads/Synth.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace gca;
+using namespace gca::servetest;
+
+namespace {
+
+std::string smallSource() {
+  SynthSpec Spec;
+  Spec.Nests = 5;
+  Spec.Seed = 2;
+  return synthSource(Spec);
+}
+
+std::string slowSource() {
+  SynthSpec Spec;
+  Spec.Nests = 300;
+  Spec.Seed = 4;
+  return synthSource(Spec);
+}
+
+CompileRequest requestFor(std::string Source, int64_t Id) {
+  CompileRequest Req;
+  Req.Id = Id;
+  Req.Name = "request-" + std::to_string(Id);
+  Req.Source = std::move(Source);
+  return Req;
+}
+
+/// Arms the global fault injector for one scope; always disarms on exit so
+/// later tests see clean I/O.
+struct FaultScope {
+  explicit FaultScope(const std::string &Spec) {
+    EXPECT_TRUE(FaultInjector::instance().configure(Spec));
+  }
+  ~FaultScope() { FaultInjector::instance().reset(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+TEST(FrameTest, RoundTripOverPipe) {
+  int P[2];
+  ASSERT_EQ(::pipe(P), 0);
+  for (const std::string &Payload :
+       {std::string(), std::string("x"), std::string(100000, 'q')}) {
+    // Large payloads exceed the pipe's buffer, so the writer needs its own
+    // thread for the reader to drain it concurrently.
+    std::thread Writer(
+        [&] { ASSERT_EQ(writeFrame(P[1], Payload), FrameStatus::Ok); });
+    std::string Got;
+    ASSERT_EQ(readFrame(P[0], Got), FrameStatus::Ok);
+    Writer.join();
+    EXPECT_EQ(Got, Payload);
+  }
+  ::close(P[1]);
+  std::string Got;
+  EXPECT_EQ(readFrame(P[0], Got), FrameStatus::Eof); // Clean boundary.
+  ::close(P[0]);
+}
+
+TEST(FrameTest, GarbageHeaderDetected) {
+  int P[2];
+  ASSERT_EQ(::pipe(P), 0);
+  ASSERT_EQ(ioWriteFull(P[1], "XXXXYYYY", 8), IoStatus::Ok);
+  std::string Got;
+  EXPECT_EQ(readFrame(P[0], Got), FrameStatus::Garbage);
+  ::close(P[0]);
+  ::close(P[1]);
+}
+
+TEST(FrameTest, TruncationDistinguishedFromEof) {
+  // Mid-header cut.
+  int P[2];
+  ASSERT_EQ(::pipe(P), 0);
+  ASSERT_EQ(ioWriteFull(P[1], "GCA", 3), IoStatus::Ok);
+  ::close(P[1]);
+  std::string Got;
+  EXPECT_EQ(readFrame(P[0], Got), FrameStatus::Truncated);
+  ::close(P[0]);
+
+  // Mid-payload cut: a complete header promising more than is delivered.
+  ASSERT_EQ(::pipe(P), 0);
+  std::string Frame = encodeFrame("0123456789");
+  Frame.resize(Frame.size() - 4);
+  ASSERT_EQ(ioWriteFull(P[1], Frame.data(), Frame.size()), IoStatus::Ok);
+  ::close(P[1]);
+  EXPECT_EQ(readFrame(P[0], Got), FrameStatus::Truncated);
+  ::close(P[0]);
+}
+
+TEST(FrameTest, OversizedDeclaredLengthRejected) {
+  int P[2];
+  ASSERT_EQ(::pipe(P), 0);
+  std::string Frame = encodeFrame(std::string(4096, 'z'));
+  ASSERT_EQ(ioWriteFull(P[1], Frame.data(), Frame.size()), IoStatus::Ok);
+  std::string Got;
+  uint32_t Declared = 0;
+  EXPECT_EQ(readFrame(P[0], Got, /*MaxPayload=*/1024, &Declared),
+            FrameStatus::Oversized);
+  EXPECT_EQ(Declared, 4096u);
+  ::close(P[0]);
+  ::close(P[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Request encoding
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocolTest, BuildParseRoundTrip) {
+  CompileRequest Req = requestFor("begin r\nend\n", 42);
+  Req.Stats = true;
+  Req.PrintPlans = false;
+  Req.Opts.Placement.Strat = Strategy::Optimal;
+  Req.Opts.FuseLoops = true;
+  Req.Opts.Verify = VerifyMode::Each;
+  Req.Opts.Placement.Jobs = 3;
+  Req.Opts.Params["n"] = 128;
+  std::string Wire = buildCompileRequestJson(Req);
+
+  JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(JsonValue::parse(Wire, Doc, Err)) << Err;
+  CompileRequest Back;
+  ASSERT_TRUE(parseCompileRequest(Doc, Back, Err)) << Err;
+  EXPECT_EQ(buildCompileRequestJson(Back), Wire);
+  EXPECT_EQ(Back.Opts.Placement.Strat, Strategy::Optimal);
+  EXPECT_EQ(Back.Opts.Verify, VerifyMode::Each);
+  EXPECT_EQ(Back.Opts.Params["n"], 128);
+}
+
+TEST(ServeProtocolTest, StrictParsingRejectsUnknownAndMistyped) {
+  auto Fails = [](const std::string &Json) {
+    JsonValue Doc;
+    std::string Err;
+    EXPECT_TRUE(JsonValue::parse(Json, Doc, Err)) << Err;
+    CompileRequest Req;
+    return !parseCompileRequest(Doc, Req, Err);
+  };
+  EXPECT_TRUE(Fails("{\"source\":\"s\",\"bogus\":1}"));
+  EXPECT_TRUE(Fails("{\"name\":\"no-source\"}"));
+  EXPECT_TRUE(Fails("{\"source\":42}"));
+  EXPECT_TRUE(Fails("{\"source\":\"s\",\"id\":\"seven\"}"));
+  EXPECT_TRUE(Fails("{\"source\":\"s\",\"options\":{\"bogus\":true}}"));
+  EXPECT_TRUE(Fails("{\"source\":\"s\",\"options\":{\"strategy\":\"nope\"}}"));
+  EXPECT_TRUE(Fails(
+      "{\"source\":\"s\",\"options\":{\"placement_jobs\":0}}"));
+  EXPECT_TRUE(Fails(
+      "{\"source\":\"s\",\"options\":{\"params\":{\"n\":\"many\"}}}"));
+}
+
+//===----------------------------------------------------------------------===//
+// Serving
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, PingMetricsAndUnknownCmd) {
+  TestServer TS{ServerConfig{}};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  JsonValue Pong = sendRecv(Fd, "{\"cmd\":\"ping\"}");
+  EXPECT_EQ(status(Pong), "ok");
+  const JsonValue *P = Pong.get("pong");
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(P->boolValue());
+
+  JsonValue Metrics = sendRecv(Fd, "{\"cmd\":\"metrics\"}");
+  EXPECT_EQ(status(Metrics), "ok");
+  const JsonValue *M = Metrics.get("metrics");
+  ASSERT_NE(M, nullptr);
+  ASSERT_TRUE(M->isObject());
+
+  JsonValue Unknown = sendRecv(Fd, "{\"cmd\":\"selfdestruct\"}");
+  EXPECT_EQ(status(Unknown), "bad-request");
+  // The connection survives a bad request: framing is still synchronized.
+  EXPECT_EQ(status(sendRecv(Fd, "{\"cmd\":\"ping\"}")), "ok");
+  ::close(Fd);
+}
+
+TEST(ServerTest, ResponseBitwiseIdenticalToOneShot) {
+  CompileRequest Req = requestFor(smallSource(), 1);
+  std::string Expected = runCompileRequest(Req, nullptr).Output;
+  ASSERT_FALSE(Expected.empty());
+
+  TestServer TS{ServerConfig{}};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  JsonValue Resp = sendRecv(Fd, buildCompileRequestJson(Req));
+  EXPECT_EQ(status(Resp), "ok");
+  EXPECT_EQ(respId(Resp), 1);
+  EXPECT_EQ(output(Resp), Expected);
+  ::close(Fd);
+}
+
+TEST(ServerTest, ConcurrentClientsBitwiseIdentical) {
+  const int NumClients = 4, PerClient = 4;
+  std::vector<std::string> Sources = {smallSource(), slowSource()};
+  std::vector<std::string> Expected;
+  for (size_t I = 0; I < Sources.size(); ++I) {
+    CompileRequest Req = requestFor(Sources[I], 0);
+    Req.Name = "mixed-" + std::to_string(I);
+    Expected.push_back(runCompileRequest(Req, nullptr).Output);
+  }
+
+  ResultCache Cache;
+  ServerConfig Config;
+  Config.Cache = &Cache;
+  TestServer TS{Config};
+  std::atomic<int> Mismatches{0}, Failures{0};
+  std::vector<std::thread> Clients;
+  for (int C = 0; C < NumClients; ++C)
+    Clients.emplace_back([&, C] {
+      int Fd = TS.connect();
+      if (Fd < 0) {
+        Failures++;
+        return;
+      }
+      for (int I = 0; I < PerClient; ++I) {
+        size_t Pick = static_cast<size_t>(C + I) % Sources.size();
+        CompileRequest Req = requestFor(Sources[Pick], C * 100 + I);
+        // The id is not part of the rendered output: use a fixed name so
+        // every client's request hits the same cache key and bytes.
+        Req.Name = "mixed-" + std::to_string(Pick);
+        JsonValue Resp = sendRecv(Fd, buildCompileRequestJson(Req));
+        if (status(Resp) != "ok" || respId(Resp) != C * 100 + I)
+          Failures++;
+        if (output(Resp) != Expected[Pick])
+          Mismatches++;
+      }
+      ::close(Fd);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_EQ(Mismatches.load(), 0);
+  EXPECT_EQ(TS.server().counter("server.ok"),
+            static_cast<int64_t>(NumClients * PerClient));
+}
+
+TEST(ServerTest, SharedCacheHitsAcrossClients) {
+  ResultCache Cache;
+  ServerConfig Config;
+  Config.Cache = &Cache;
+  TestServer TS{Config};
+
+  CompileRequest Req = requestFor(smallSource(), 1);
+  int A = TS.connect();
+  ASSERT_GE(A, 0);
+  JsonValue RespA = sendRecv(A, buildCompileRequestJson(Req));
+  ASSERT_EQ(status(RespA), "ok");
+  const JsonValue *HitA = RespA.get("cache_hit");
+  ASSERT_NE(HitA, nullptr);
+  EXPECT_FALSE(HitA->boolValue());
+
+  // A different client, the same source: must replay from the shared cache.
+  int B = TS.connect();
+  ASSERT_GE(B, 0);
+  Req.Id = 2;
+  JsonValue RespB = sendRecv(B, buildCompileRequestJson(Req));
+  ASSERT_EQ(status(RespB), "ok");
+  const JsonValue *HitB = RespB.get("cache_hit");
+  ASSERT_NE(HitB, nullptr);
+  EXPECT_TRUE(HitB->boolValue());
+  EXPECT_EQ(output(RespA), output(RespB));
+  EXPECT_EQ(TS.server().counter("server.cache-hits"), 1);
+  EXPECT_GE(TS.server().counter("cache.hits"), 1);
+  ::close(A);
+  ::close(B);
+}
+
+TEST(ServerTest, BadFrameKillsOnlyItsConnection) {
+  TestServer TS{ServerConfig{}};
+  int A = TS.connect();
+  int B = TS.connect();
+  ASSERT_GE(A, 0);
+  ASSERT_GE(B, 0);
+
+  // Garbage on A: one bad-frame response, then the connection closes.
+  ASSERT_EQ(ioWriteFull(A, "NOPE\x01\x02\x03\x04", 8), IoStatus::Ok);
+  JsonValue Resp = recvJson(A);
+  EXPECT_EQ(status(Resp), "bad-frame");
+  std::string Rest;
+  EXPECT_EQ(readFrame(A, Rest), FrameStatus::Eof);
+
+  // B is a separate failure domain: still fully served.
+  CompileRequest Req = requestFor(smallSource(), 9);
+  EXPECT_EQ(status(sendRecv(B, buildCompileRequestJson(Req))), "ok");
+  EXPECT_EQ(TS.server().counter("server.bad-frames"), 1);
+  ::close(A);
+  ::close(B);
+}
+
+TEST(ServerTest, OversizedFrameRejectedWithoutReading) {
+  ServerConfig Config;
+  Config.MaxFramePayload = 1024;
+  TestServer TS{Config};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  std::string Big = encodeFrame(std::string(4096, 'z'));
+  ASSERT_EQ(ioWriteFull(Fd, Big.data(), Big.size()), IoStatus::Ok);
+  JsonValue Resp = recvJson(Fd);
+  EXPECT_EQ(status(Resp), "bad-frame");
+  // The server closes without draining the oversized payload, so the kernel
+  // may surface the discard as a reset rather than a clean EOF.
+  std::string Rest;
+  FrameStatus Fin = readFrame(Fd, Rest);
+  EXPECT_TRUE(Fin == FrameStatus::Eof || Fin == FrameStatus::IoError);
+  ::close(Fd);
+
+  // The daemon survives; a fresh connection is served.
+  int Fd2 = TS.connect();
+  ASSERT_GE(Fd2, 0);
+  EXPECT_EQ(status(sendRecv(Fd2, "{\"cmd\":\"ping\"}")), "ok");
+  ::close(Fd2);
+}
+
+TEST(ServerTest, MidFrameDisconnectDegradesOnlyThatConnection) {
+  TestServer TS{ServerConfig{}};
+  int A = TS.connect();
+  ASSERT_GE(A, 0);
+  // Half a header, then gone: the server sees Truncated and reclaims the
+  // connection without answering (there is nothing to answer).
+  ASSERT_EQ(ioWriteFull(A, "GCAF\x40", 5), IoStatus::Ok);
+  ::close(A);
+
+  int B = TS.connect();
+  ASSERT_GE(B, 0);
+  CompileRequest Req = requestFor(smallSource(), 3);
+  EXPECT_EQ(status(sendRecv(B, buildCompileRequestJson(Req))), "ok");
+  ::close(B);
+}
+
+TEST(ServerTest, OverloadedWhenAdmissionQueueFull) {
+  ServerConfig Config;
+  Config.Jobs = 1;
+  Config.QueueLimit = 0; // Zero admitted-but-unstarted slots: always shed.
+  TestServer TS{Config};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  CompileRequest Req = requestFor(smallSource(), 5);
+  JsonValue Resp = sendRecv(Fd, buildCompileRequestJson(Req));
+  EXPECT_EQ(status(Resp), "overloaded");
+  EXPECT_EQ(respId(Resp), 5);
+  EXPECT_GE(TS.server().counter("server.overloaded"), 1);
+  // Shedding is not fatal: control traffic still flows on the same
+  // connection.
+  EXPECT_EQ(status(sendRecv(Fd, "{\"cmd\":\"ping\"}")), "ok");
+  ::close(Fd);
+}
+
+TEST(ServerTest, DeadlinePassedBeforeDispatchTimesOut) {
+  ServerConfig Config;
+  Config.Jobs = 1;
+  Config.RequestTimeoutSec = 1e-6;
+  TestServer TS{Config};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  // Pipeline two requests: with one worker, the second one's queue wait is
+  // at least the first one's compile time, far past the 1 µs deadline.
+  ASSERT_EQ(writeFrame(Fd, buildCompileRequestJson(
+                               requestFor(slowSource(), 1))),
+            FrameStatus::Ok);
+  ASSERT_EQ(writeFrame(Fd, buildCompileRequestJson(
+                               requestFor(smallSource(), 2))),
+            FrameStatus::Ok);
+  bool SawTimeoutForSecond = false;
+  for (int I = 0; I < 2; ++I) {
+    JsonValue Resp = recvJson(Fd);
+    if (respId(Resp) == 2) {
+      EXPECT_EQ(status(Resp), "timeout");
+      SawTimeoutForSecond = status(Resp) == "timeout";
+    } else {
+      EXPECT_EQ(respId(Resp), 1);
+      EXPECT_TRUE(status(Resp) == "ok" || status(Resp) == "timeout");
+    }
+  }
+  EXPECT_TRUE(SawTimeoutForSecond);
+  EXPECT_GE(TS.server().counter("server.timeouts"), 1);
+  ::close(Fd);
+}
+
+TEST(ServerTest, DrainUnderLoadDropsNoInFlightRequest) {
+  ServerConfig Config;
+  Config.Jobs = 1;
+  TestServer TS{Config};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  const int N = 4;
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(writeFrame(Fd, buildCompileRequestJson(
+                                 requestFor(slowSource(), I))),
+              FrameStatus::Ok);
+  // Wait until every request has been read and admitted, so the drain
+  // deterministically lands while compiles are queued and executing.
+  for (int Spin = 0; Spin < 10000; ++Spin) {
+    if (TS.server().counter("server.requests") == N)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(TS.server().counter("server.requests"), N);
+  TS.server().requestDrain();
+  // A request arriving after the drain is rejected explicitly, not dropped
+  // (in-flight work keeps the connection open long enough to read it).
+  ASSERT_EQ(writeFrame(Fd, buildCompileRequestJson(
+                               requestFor(smallSource(), N))),
+            FrameStatus::Ok);
+  int Answered = 0, Ok = 0, Draining = 0;
+  bool LateRejected = false;
+  for (int I = 0; I < N + 1; ++I) {
+    JsonValue Resp = recvJson(Fd);
+    if (Resp.isNull())
+      break;
+    ++Answered;
+    if (status(Resp) == "ok")
+      ++Ok;
+    else if (status(Resp) == "draining")
+      ++Draining;
+    if (respId(Resp) == N)
+      LateRejected = status(Resp) == "draining";
+  }
+  // Every admitted request was answered; nothing vanished.
+  EXPECT_EQ(Answered, N + 1);
+  EXPECT_EQ(Ok + Draining, N + 1);
+  EXPECT_GE(Ok, 1); // At least the one already executing completes.
+  EXPECT_TRUE(LateRejected);
+  std::string Rest;
+  EXPECT_EQ(readFrame(Fd, Rest), FrameStatus::Eof); // Then a clean close.
+  ::close(Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, ServesCorrectlyUnderInjectedIoFaults) {
+  CompileRequest Req = requestFor(smallSource(), 1);
+  std::string Expected = runCompileRequest(Req, nullptr).Output;
+
+  FaultScope Faults("short-read=40,short-write=40,eagain=25,eintr=25,seed=11");
+  TestServer TS{ServerConfig{}};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  for (int I = 0; I < 5; ++I) {
+    Req.Id = I;
+    JsonValue Resp = sendRecv(Fd, buildCompileRequestJson(Req));
+    ASSERT_EQ(status(Resp), "ok") << "request " << I;
+    EXPECT_EQ(output(Resp), Expected) << "request " << I;
+  }
+  ::close(Fd);
+  // The retry loops actually ran: faults were injected, none escaped.
+  EXPECT_GT(FaultInjector::instance().injected(), 0);
+}
+
+TEST(ServerTest, FaultedConnectionIsItsOwnFailureDomain) {
+  FaultScope Faults("short-read=60,eagain=30,seed=3");
+  TestServer TS{ServerConfig{}};
+  int A = TS.connect();
+  int B = TS.connect();
+  ASSERT_GE(A, 0);
+  ASSERT_GE(B, 0);
+  // A dies mid-frame under fault pressure; B must still be served and the
+  // process-wide behavior (accepting, compiling) must be unaffected.
+  ASSERT_EQ(ioWriteFull(A, "GCAF\xff\x00\x00", 7), IoStatus::Ok);
+  ::close(A);
+  CompileRequest Req = requestFor(smallSource(), 8);
+  JsonValue Resp = sendRecv(B, buildCompileRequestJson(Req));
+  EXPECT_EQ(status(Resp), "ok");
+  ::close(B);
+}
+
+TEST(FaultInjectorTest, SpecParsing) {
+  FaultInjector &FI = FaultInjector::instance();
+  EXPECT_TRUE(FI.configure("short-read=10,short-write=20,eagain=5,seed=42"));
+  EXPECT_TRUE(FI.armed());
+  FI.reset();
+  EXPECT_FALSE(FI.armed());
+  EXPECT_FALSE(FI.configure("bogus-knob=10"));
+  EXPECT_FALSE(FI.configure("short-read=101"));
+  EXPECT_FALSE(FI.configure("short-read"));
+  EXPECT_FALSE(FI.armed());
+  FI.reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded protocol fuzz (tier 1; the long campaign is in gca_fuzz_tests)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, BoundedProtocolFuzz) {
+  ServerConfig Config;
+  Config.MaxFramePayload = 64 << 10;
+  TestServer TS{Config};
+  fuzzgen::Rng R(20260809);
+  const std::string Valid =
+      encodeFrame(buildCompileRequestJson(requestFor(smallSource(), 1)));
+
+  for (int Round = 0; Round < 60; ++Round) {
+    std::string Mutant = Valid;
+    int Flips = R.range(1, 8);
+    for (int F = 0; F < Flips; ++F)
+      Mutant[static_cast<size_t>(R.range(0, static_cast<int>(Mutant.size()) -
+                                                1))] =
+          static_cast<char>(R.range(0, 255));
+    if (R.chance(25))
+      Mutant.resize(static_cast<size_t>(
+          R.range(0, static_cast<int>(Mutant.size()))));
+    int Fd = TS.connect();
+    ASSERT_GE(Fd, 0);
+    (void)ioWriteFull(Fd, Mutant.data(), Mutant.size());
+    // Oracle 1: whatever comes back (possibly nothing) parses as JSON.
+    if (readableWithin(Fd, 50)) {
+      std::string Wire;
+      if (readFrame(Fd, Wire) == FrameStatus::Ok) {
+        JsonValue Doc;
+        std::string Err;
+        EXPECT_TRUE(JsonValue::parse(Wire, Doc, Err))
+            << "round " << Round << ": unparseable response: " << Err;
+      }
+    }
+    ::close(Fd);
+    // Oracle 2: every 10 rounds, a valid request on a fresh connection is
+    // still served correctly — the daemon took no lasting damage.
+    if (Round % 10 == 9) {
+      int Probe = TS.connect();
+      ASSERT_GE(Probe, 0);
+      JsonValue Resp =
+          sendRecv(Probe, buildCompileRequestJson(requestFor(smallSource(),
+                                                             Round)));
+      EXPECT_EQ(status(Resp), "ok") << "round " << Round;
+      ::close(Probe);
+    }
+  }
+}
+
+} // namespace

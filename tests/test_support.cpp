@@ -216,3 +216,104 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   }
   EXPECT_EQ(Count.load(), 20);
 }
+
+//===----------------------------------------------------------------------===//
+// JsonValue (the wire-protocol reader)
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_TRUE(JsonValue::parse(Text, V, Err)) << Text << ": " << Err;
+  return V;
+}
+
+bool parseFails(const std::string &Text) {
+  JsonValue V;
+  std::string Err;
+  return !JsonValue::parse(Text, V, Err);
+}
+
+} // namespace
+
+TEST(JsonValueTest, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").boolValue());
+  EXPECT_FALSE(parseOk("false").boolValue());
+  EXPECT_EQ(parseOk("42").intValue(), 42);
+  EXPECT_EQ(parseOk("-7").intValue(), -7);
+  EXPECT_TRUE(parseOk("42").isIntegral());
+  EXPECT_FALSE(parseOk("42.5").isIntegral());
+  EXPECT_DOUBLE_EQ(parseOk("42.5").numberValue(), 42.5);
+  EXPECT_DOUBLE_EQ(parseOk("1e3").numberValue(), 1000.0);
+  EXPECT_EQ(parseOk("\"hi\"").stringValue(), "hi");
+}
+
+TEST(JsonValueTest, StringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\n\\t\\\"b\\\\\"").stringValue(), "a\n\t\"b\\");
+  EXPECT_EQ(parseOk("\"\\u0041\"").stringValue(), "A");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").stringValue(), "\xf0\x9f\x98\x80");
+  EXPECT_TRUE(parseFails("\"\\ud83d\"")); // Lone high surrogate.
+  EXPECT_TRUE(parseFails("\"\\x41\""));   // Bad escape.
+  EXPECT_TRUE(parseFails("\"unterminated"));
+}
+
+TEST(JsonValueTest, Containers) {
+  JsonValue A = parseOk("[1,\"two\",[3],{\"k\":4}]");
+  ASSERT_TRUE(A.isArray());
+  ASSERT_EQ(A.array().size(), 4u);
+  EXPECT_EQ(A.array()[0].intValue(), 1);
+  EXPECT_EQ(A.array()[1].stringValue(), "two");
+  EXPECT_EQ(A.array()[2].array()[0].intValue(), 3);
+  const JsonValue *K = A.array()[3].get("k");
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(K->intValue(), 4);
+
+  JsonValue O = parseOk("{\"a\":1,\"b\":{\"c\":[true]}}");
+  ASSERT_TRUE(O.isObject());
+  EXPECT_EQ(O.members().size(), 2u);
+  EXPECT_EQ(O.get("a")->intValue(), 1);
+  EXPECT_TRUE(O.get("b")->get("c")->array()[0].boolValue());
+  EXPECT_EQ(O.get("missing"), nullptr);
+}
+
+TEST(JsonValueTest, StrictnessAndLimits) {
+  EXPECT_TRUE(parseFails(""));
+  EXPECT_TRUE(parseFails("{"));
+  EXPECT_TRUE(parseFails("[1,]"));
+  EXPECT_TRUE(parseFails("{\"a\":}"));
+  EXPECT_TRUE(parseFails("{\"a\" 1}"));
+  EXPECT_TRUE(parseFails("1 2"));        // Trailing bytes.
+  EXPECT_TRUE(parseFails("{} garbage")); // Trailing bytes.
+  EXPECT_TRUE(parseFails("nul"));
+  // Nesting is capped so adversarial frames cannot exhaust the stack.
+  EXPECT_TRUE(parseFails(std::string(100, '[') + std::string(100, ']')));
+  EXPECT_FALSE(parseFails(std::string(32, '[') + std::string(32, ']')));
+  // Leading/trailing whitespace is fine.
+  EXPECT_EQ(parseOk("  {\"a\": 1}\n").get("a")->intValue(), 1);
+}
+
+TEST(JsonValueTest, RoundTripsThroughWriter) {
+  // What JsonWriter emits, JsonValue parses back — the two halves of the
+  // wire protocol agree with each other.
+  JsonWriter W;
+  W.beginObject();
+  W.key("name").value("we\"ird\\name\n");
+  W.key("n").value(static_cast<int64_t>(-123));
+  W.key("flag").value(true);
+  W.key("xs").beginArray();
+  W.value(static_cast<int64_t>(1));
+  W.value("two");
+  W.endArray();
+  W.endObject();
+  JsonValue V = parseOk(W.str());
+  EXPECT_EQ(V.get("name")->stringValue(), "we\"ird\\name\n");
+  EXPECT_EQ(V.get("n")->intValue(), -123);
+  EXPECT_TRUE(V.get("flag")->boolValue());
+  EXPECT_EQ(V.get("xs")->array()[1].stringValue(), "two");
+}

@@ -32,6 +32,8 @@
 
 #include "driver/CachedPipeline.h"
 #include "driver/Pipeline.h"
+#include "driver/Serve.h"
+#include "support/Io.h"
 #include "support/Json.h"
 #include "support/Stats.h"
 #include "support/StrUtil.h"
@@ -41,7 +43,9 @@
 #include "workloads/Workloads.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,7 +53,10 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace gca;
 
@@ -89,6 +96,15 @@ struct ToolOptions {
   bool MetricsPrometheus = false;
   /// Print the compile-latency histogram one-liner after the batch.
   bool HistogramReport = false;
+  /// --serve=PATH|stdio: run as a long-lived compile server instead of a
+  /// batch. PATH is a Unix socket; "stdio" frames over stdin/stdout.
+  std::string ServeSpec;
+  /// Compile workers for --serve (0 = hardware concurrency).
+  unsigned ServeJobs = 0;
+  /// Admission bound for --serve (requests admitted but not started).
+  int QueueLimit = 64;
+  /// Per-request deadline for --serve, seconds; 0 disables.
+  double RequestTimeoutSec = 0;
 };
 
 struct Input {
@@ -138,26 +154,14 @@ Output compileOneRun(const Input &In, const ToolOptions &Opts,
       Out.VerifyWallSec = P.Time.WallSec;
   Out.CacheHit = CacheHit;
 
-  std::string &D = Out.Deterministic;
-  D += "== " + In.Name + " ==\n";
+  // The compile server renders through the same function, which is what
+  // makes its responses bitwise-identical to batch output.
+  Out.Deterministic = renderCompileOutput(In.Name, S, R, Opts.PrintPlans,
+                                          Opts.Stats, Opts.DumpDecisions);
   if (!R.Ok) {
-    D += R.Errors;
     Out.Failed = true;
     return Out;
   }
-  // planText() renders replayed and freshly-computed plans from the same
-  // bytes, so cache hits are bitwise-identical to cold runs.
-  if (Opts.PrintPlans)
-    D += R.planText();
-  if (Opts.DumpDecisions)
-    for (const RoutineResult &RR : R.Routines)
-      D += "-- decisions: " + RR.R->name() + " --\n" + RR.Plan.decisionsStr();
-  for (const auto &[Pass, Dump] : S.Dumps)
-    D += "-- dump after " + Pass + " --\n" + Dump;
-  if (!R.Diagnostics.empty())
-    D += R.Diagnostics;
-  if (Opts.Stats)
-    D += S.Stats.str();
   if (!R.AuditOk || !R.VerifyOk)
     Out.Failed = true;
 
@@ -264,6 +268,122 @@ std::vector<Output> compileAll(const std::vector<Input> &Inputs,
   return Outputs;
 }
 
+/// Writes \p Doc to \p File ("" = stdout), checking every write: a full
+/// disk or a closed pipe must become a nonzero exit, not silent data loss.
+bool emitDoc(const std::string &Doc, const std::string &File) {
+  if (File.empty()) {
+    if (std::fputs(Doc.c_str(), stdout) < 0)
+      return false;
+    return std::fflush(stdout) == 0;
+  }
+  FILE *F = std::fopen(File.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fputs(Doc.c_str(), F) >= 0;
+  if (std::fflush(F) != 0 || std::ferror(F))
+    Ok = false;
+  if (std::fclose(F) != 0)
+    Ok = false;
+  return Ok;
+}
+
+/// Self-pipe write end for the SIGTERM/SIGINT handler. The handler only
+/// write()s (async-signal-safe); a watcher thread turns the byte into
+/// CompileServer::requestDrain().
+volatile int SignalPipeWrite = -1;
+
+extern "C" void onDrainSignal(int) {
+  char B = 'x';
+  int Fd = SignalPipeWrite;
+  if (Fd >= 0)
+    (void)!::write(Fd, &B, 1);
+}
+
+/// `gca-compile --serve`: the long-lived compile service. Returns the
+/// process exit status after a graceful drain.
+int serveMain(const ToolOptions &Opts, ResultCache *Cache) {
+  // GCA_FAULT arms the I/O fault injector (tests only): short reads/writes,
+  // EAGAIN storms, and EINTR on the server's wire I/O.
+  FaultInjector::instance().configureFromEnv();
+
+  ServerConfig SC;
+  bool Stdio = Opts.ServeSpec == "stdio" || Opts.ServeSpec == "-";
+  if (!Stdio)
+    SC.SocketPath = Opts.ServeSpec;
+  SC.Jobs = Opts.ServeJobs;
+  SC.QueueLimit = Opts.QueueLimit;
+  SC.RequestTimeoutSec = Opts.RequestTimeoutSec;
+  SC.Cache = Cache;
+  CompileServer Server(SC);
+
+  int SigPipe[2];
+  if (::pipe(SigPipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  SignalPipeWrite = SigPipe[1];
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof SA);
+  SA.sa_handler = onDrainSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  // Response writes use MSG_NOSIGNAL on sockets; the stdio framing path
+  // still needs SIGPIPE ignored so a vanished peer is a write error, not
+  // sudden death.
+  ::signal(SIGPIPE, SIG_IGN);
+  std::thread Watcher([&Server, &SigPipe] {
+    char B;
+    if (ioReadFull(SigPipe[0], &B, 1) == IoStatus::Ok)
+      Server.requestDrain();
+  });
+
+  int Status = 0;
+  if (Stdio) {
+    Server.serveConnection(/*InFd=*/0, /*OutFd=*/1);
+    Server.requestDrain();
+  } else {
+    std::string Err;
+    if (!Server.start(Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      Status = 1;
+      Server.requestDrain();
+    } else {
+      std::fprintf(stderr,
+                   "gca-compile: serving on %s (%lld workers, queue limit "
+                   "%d)\n",
+                   Opts.ServeSpec.c_str(),
+                   static_cast<long long>(Server.counter("server.jobs")),
+                   SC.QueueLimit);
+    }
+  }
+  Server.wait();
+
+  // Quiesce the signal path before tearing the self-pipe down.
+  SA.sa_handler = SIG_DFL;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  SignalPipeWrite = -1;
+  ::close(SigPipe[1]);
+  Watcher.join();
+  ::close(SigPipe[0]);
+
+  if (Opts.Metrics) {
+    MetricsSnapshot Snap = Server.metricsSnapshot();
+    std::string Doc =
+        Opts.MetricsPrometheus ? Snap.prometheus() : Snap.json() + "\n";
+    if (!emitDoc(Doc, Opts.MetricsFile)) {
+      std::fprintf(stderr, "error: cannot write metrics%s%s\n",
+                   Opts.MetricsFile.empty() ? "" : " to ",
+                   Opts.MetricsFile.c_str());
+      Status = 1;
+    }
+  }
+  std::fprintf(stderr, "gca-compile: drained (%lld requests, %lld ok)\n",
+               static_cast<long long>(Server.counter("server.requests")),
+               static_cast<long long>(Server.counter("server.ok")));
+  return Status;
+}
+
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
@@ -310,7 +430,21 @@ int usage(const char *Argv0) {
       "  --metrics[=FILE]       write a batch metrics snapshot (stdout when\n"
       "                         FILE omitted)\n"
       "  --metrics-format=F     json (default) or prometheus\n"
-      "  --histogram            print the compile-latency histogram\n",
+      "  --histogram            print the compile-latency histogram\n"
+      "  --serve=PATH|stdio|-   run as a compile server on a Unix socket\n"
+      "                         (or framed over stdin/stdout); honors "
+      "--cache,\n"
+      "                         drains gracefully on SIGTERM/SIGINT, and "
+      "with\n"
+      "                         --metrics[=FILE] writes a final snapshot\n"
+      "  --serve-jobs=N         compile workers for --serve (default: all "
+      "cores)\n"
+      "  --queue-limit=N        admitted-but-unstarted bound; beyond it "
+      "requests\n"
+      "                         are answered 'overloaded' (default 64)\n"
+      "  --request-timeout=S    answer 'timeout' when a request waits more "
+      "than\n"
+      "                         S seconds before dispatch (default: off)\n",
       Argv0);
   return 2;
 }
@@ -433,6 +567,26 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
     } else if (Arg == "--histogram") {
       Opts.HistogramReport = true;
+    } else if (Arg.rfind("--serve=", 0) == 0) {
+      Opts.ServeSpec = Arg.substr(std::strlen("--serve="));
+      if (Opts.ServeSpec.empty())
+        return usage(argv[0]);
+    } else if (Arg.rfind("--serve-jobs=", 0) == 0) {
+      Opts.ServeJobs = static_cast<unsigned>(
+          std::strtoul(Arg.c_str() + std::strlen("--serve-jobs="), nullptr,
+                       10));
+    } else if (Arg.rfind("--queue-limit=", 0) == 0) {
+      Opts.QueueLimit = static_cast<int>(
+          std::strtol(Arg.c_str() + std::strlen("--queue-limit="), nullptr,
+                      10));
+      if (Opts.QueueLimit < 0)
+        return usage(argv[0]);
+    } else if (Arg.rfind("--request-timeout=", 0) == 0) {
+      Opts.RequestTimeoutSec =
+          std::strtod(Arg.c_str() + std::strlen("--request-timeout="),
+                      nullptr);
+      if (Opts.RequestTimeoutSec < 0)
+        return usage(argv[0]);
     } else if (Arg == "-p") {
       const char *Eq = I + 1 < argc ? std::strchr(argv[I + 1], '=') : nullptr;
       if (!Eq)
@@ -466,7 +620,12 @@ int main(int argc, char **argv) {
     Spec.Seed = Opts.SynthSeed;
     Inputs.push_back({synthName(Spec), synthSource(Spec)});
   }
-  if (Inputs.empty())
+  if (!Opts.ServeSpec.empty() && !Inputs.empty()) {
+    std::fprintf(stderr, "error: --serve takes no inputs (clients send "
+                         "sources over the wire)\n");
+    return 2;
+  }
+  if (Inputs.empty() && Opts.ServeSpec.empty())
     return usage(argv[0]);
 
   if (Opts.DumpDecisions && !Opts.CacheSpec.empty()) {
@@ -484,6 +643,9 @@ int main(int argc, char **argv) {
     Cache = std::make_unique<ResultCache>(std::move(C));
     Opts.Cache = Cache.get();
   }
+
+  if (!Opts.ServeSpec.empty())
+    return serveMain(Opts, Cache.get());
 
   if (!Opts.TraceFile.empty()) {
     TraceCollector::instance().enable();
@@ -541,13 +703,9 @@ int main(int argc, char **argv) {
     if (Opts.Metrics) {
       std::string Doc =
           Opts.MetricsPrometheus ? Snap.prometheus() : Snap.json() + "\n";
-      if (Opts.MetricsFile.empty()) {
-        std::fputs(Doc.c_str(), stdout);
-      } else if (FILE *F = std::fopen(Opts.MetricsFile.c_str(), "w")) {
-        std::fputs(Doc.c_str(), F);
-        std::fclose(F);
-      } else {
-        std::fprintf(stderr, "error: cannot write '%s'\n",
+      if (!emitDoc(Doc, Opts.MetricsFile)) {
+        std::fprintf(stderr, "error: cannot write metrics%s%s\n",
+                     Opts.MetricsFile.empty() ? "" : " to ",
                      Opts.MetricsFile.c_str());
         Status = 1;
       }
@@ -576,6 +734,14 @@ int main(int argc, char **argv) {
       !TraceCollector::instance().writeChromeJson(Opts.TraceFile)) {
     std::fprintf(stderr, "error: cannot write '%s'\n", Opts.TraceFile.c_str());
     Status = 1;
+  }
+  // ferror is sticky, so this catches every unchecked fputs above: plans
+  // sent into a full disk or closed pipe must fail the run, not vanish.
+  if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+    std::fprintf(stderr, "error: write to stdout failed: %s\n",
+                 std::strerror(errno));
+    if (Status == 0)
+      Status = 1;
   }
   return Status;
 }

@@ -93,6 +93,12 @@ int main(int argc, char **argv) {
     for (const RoutineResult &RR : R.Routines)
       std::printf("{\"routine\":\"%s\",\"audit\":%s}\n",
                   RR.R->name().c_str(), RR.Audit.json().c_str());
+  // ferror is sticky: a --json report truncated by a full disk or closed
+  // pipe must fail the run, not silently pass.
+  if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+    std::fprintf(stderr, "error: write to stdout failed\n");
+    return 1;
+  }
 
   if (!R.AuditOk)
     return 1;
