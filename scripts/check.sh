@@ -14,7 +14,9 @@
 #      under 8-way duplicated inputs, that the trace collector's
 #      lock-free per-thread lanes are race-free under an 8-way traced
 #      batch compile, and that the compile server is race-free under an
-#      8-client gca-load mix followed by a SIGTERM drain.
+#      8-client gca-load mix — with the HTTP admin plane scraped
+#      continuously from a background thread for the whole run — followed
+#      by a SIGTERM drain.
 # Usage: scripts/check.sh [extra cmake args...]
 set -euo pipefail
 
@@ -87,26 +89,56 @@ build-tsan/tools/gca-compile --workloads --jobs 8 --cache=mem \
 python3 scripts/validate_trace.py build-tsan/trace.json \
   --min-worker-lanes 8 --expect-decisions
 
-echo "== thread sanitizer run (compile server under load) =="
+echo "== thread sanitizer run (compile server under load + admin scrapes) =="
 # The daemon's full concurrency surface under TSan: the accept loop, one
 # connection thread per client, the worker pool, the shared result cache,
-# and the drain path all running at once. Eight checked clients replay the
-# workload + synth mix (every response bitwise-compared against a local
-# compilation), then SIGTERM drains the server mid-idle and the run report
-# plus scraped metrics are cross-checked by validate_load.py.
+# the HTTP admin plane, and the drain path all running at once. Eight
+# checked clients replay the workload + synth mix (every response
+# bitwise-compared against a local compilation) while a background scraper
+# hammers every admin endpoint for the whole run; then SIGTERM drains the
+# server and the run report plus scraped metrics are cross-checked by
+# validate_load.py and the exposition lint.
 cmake --build build-tsan -j "$JOBS" --target gca-load
 SRVDIR=$(mktemp -d)
 trap 'rm -rf "$SRVDIR"' EXIT
 build-tsan/tools/gca-compile --serve="$SRVDIR/s.sock" --cache \
+  --admin=127.0.0.1:0 --log="$SRVDIR/req.log" \
   2> "$SRVDIR/serve.log" & SRV=$!
-for _ in $(seq 100); do [ -S "$SRVDIR/s.sock" ] && break; sleep 0.1; done
+for _ in $(seq 100); do
+  [ -S "$SRVDIR/s.sock" ] && grep -q 'admin on' "$SRVDIR/serve.log" && break
+  sleep 0.1
+done
+ADMIN=$(sed -n 's/^gca-compile: admin on //p' "$SRVDIR/serve.log")
+# Continuous scrape loop: every endpoint, as fast as it will go, until the
+# load run finishes — the TSan-interesting interleavings are admin reads
+# racing request accounting, not any particular scrape's content.
+python3 - "$ADMIN" "$SRVDIR/scrape.stop" <<'EOF' & SCRAPER=$!
+import sys, os, time, urllib.request
+addr, stopfile = sys.argv[1], sys.argv[2]
+while not os.path.exists(stopfile):
+    for path in ("/metrics", "/statusz", "/tracez", "/healthz", "/readyz"):
+        try:
+            urllib.request.urlopen("http://%s%s" % (addr, path)).read()
+        except Exception:
+            pass
+    time.sleep(0.001)
+EOF
 build-tsan/tools/gca-load --socket="$SRVDIR/s.sock" --workloads \
   --synth=60 --synth-count=2 --clients=8 --requests=64 --check --metrics \
-  > "$SRVDIR/load.json"
+  --admin="$ADMIN" > "$SRVDIR/load.json"
+python3 -c "import sys,urllib.request as u; \
+  open(sys.argv[2],'wb').write(u.urlopen('http://'+sys.argv[1]+'/metrics').read())" \
+  "$ADMIN" "$SRVDIR/exposition.txt"
+touch "$SRVDIR/scrape.stop"
+wait "$SCRAPER"
 kill -TERM "$SRV"
 wait "$SRV" || { cat "$SRVDIR/serve.log"; exit 1; }
 grep -q 'drained' "$SRVDIR/serve.log"
 python3 scripts/validate_load.py "$SRVDIR/load.json" \
   --min-clients 8 --require-metrics
+python3 scripts/validate_exposition.py "$SRVDIR/exposition.txt"
+python3 -c "import json,sys; \
+  assert sum(1 for l in open(sys.argv[1]) if json.loads(l)) >= 64" \
+  "$SRVDIR/req.log"
 
 echo "== all checks passed =="

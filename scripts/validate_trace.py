@@ -6,7 +6,16 @@ lanes are present and named, that every lane's B/E span events balance (no
 cross-thread interleaving corruption), and that the expected pass spans and
 placement decision events are present.
 
-usage: validate_trace.py TRACE.json [--min-worker-lanes N] [--expect-decisions]
+With --server the file is a compile-server trace: the pipeline-pass checks
+are replaced by request-span checks — at least --min-requests "request"
+spans in category "serve", every serve span tagged with a rid, request
+rids unique, and every request that reached a compile also carries a
+dispatch span with the same rid.
+
+usage: validate_trace.py TRACE.json [--min-worker-lanes N]
+                         [--expect-decisions]
+                         [--server] [--min-requests N]
+                         [--expect-trace-id PREFIX]
 """
 
 import argparse
@@ -21,6 +30,45 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_server(events, args):
+    """Request-span checks for a compile-server trace."""
+    serve = [e for e in events if e.get("cat") == "serve"]
+    if not serve:
+        fail("no serve-category spans (was the server run with --trace?)")
+
+    for e in serve:
+        rid = e.get("args", {}).get("rid")
+        if rid is None:
+            fail("serve span '%s' carries no rid" % e.get("name"))
+
+    def rids(name):
+        return [e["args"]["rid"] for e in serve if e.get("name") == name]
+
+    requests = rids("request")
+    if len(requests) < args.min_requests:
+        fail("expected >= %d request spans, found %d"
+             % (args.min_requests, len(requests)))
+    if len(set(requests)) != len(requests):
+        dupes = sorted({r for r in requests if requests.count(r) > 1})
+        fail("request rids not unique: %s" % dupes)
+
+    # A request that reached the compiler must have been dispatched first.
+    dispatched = set(rids("dispatch"))
+    undispatched = sorted(set(rids("compile")) - dispatched)
+    if undispatched:
+        fail("compile spans without a dispatch span: rids %s" % undispatched)
+
+    if args.expect_trace_id:
+        tagged = [e for e in serve
+                  if str(e.get("args", {}).get("trace_id", ""))
+                  .startswith(args.expect_trace_id)]
+        if not tagged:
+            fail("no serve span carries a trace_id starting with '%s'"
+                 % args.expect_trace_id)
+
+    return len(requests), len(dispatched)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("trace")
@@ -28,6 +76,14 @@ def main():
                     help="require at least N lanes named worker-*")
     ap.add_argument("--expect-decisions", action="store_true",
                     help="require placement decision events")
+    ap.add_argument("--server", action="store_true",
+                    help="validate a compile-server trace: request spans "
+                         "instead of pipeline pass spans")
+    ap.add_argument("--min-requests", type=int, default=1,
+                    help="with --server: require at least N request spans")
+    ap.add_argument("--expect-trace-id", default="",
+                    help="with --server: require a span whose trace_id "
+                         "starts with this prefix")
     args = ap.parse_args()
 
     with open(args.trace) as f:
@@ -62,6 +118,14 @@ def main():
     open_lanes = {t: d for t, d in depth.items() if d}
     if open_lanes:
         fail("unbalanced spans on lanes %s" % sorted(open_lanes))
+
+    if args.server:
+        n_requests, n_dispatched = check_server(events, args)
+        print("validate_trace: OK: %d events, %d lanes (%d workers), "
+              "%d request spans (%d dispatched)"
+              % (len(events), len(lane_names), len(workers),
+                 n_requests, n_dispatched))
+        return
 
     names = {e["name"] for e in events if "name" in e}
     missing = EXPECTED_PASSES - names

@@ -10,7 +10,9 @@
 #include "driver/CachedPipeline.h"
 #include "support/Io.h"
 #include "support/StrUtil.h"
+#include "support/Trace.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -185,6 +187,18 @@ bool parseCompileRequest(const JsonValue &Doc, CompileRequest &Req,
         return false;
       }
       Req.PrintPlans = V.boolValue();
+    } else if (Key == "client") {
+      if (!V.isString()) {
+        Err = "'client' must be a string";
+        return false;
+      }
+      Req.Client = V.stringValue();
+    } else if (Key == "trace_id") {
+      if (!V.isString()) {
+        Err = "'trace_id' must be a string";
+        return false;
+      }
+      Req.TraceId = V.stringValue();
     } else if (Key == "options") {
       if (!V.isObject()) {
         Err = "'options' must be an object";
@@ -214,6 +228,12 @@ std::string buildCompileRequestJson(const CompileRequest &Req) {
   W.key("source").value(Req.Source);
   W.key("stats").value(Req.Stats);
   W.key("plans").value(Req.PrintPlans);
+  // Emitted only when set so requests from trace-unaware builders stay
+  // byte-identical to the pre-admin-plane wire format.
+  if (!Req.Client.empty())
+    W.key("client").value(Req.Client);
+  if (!Req.TraceId.empty())
+    W.key("trace_id").value(Req.TraceId);
   W.key("options").beginObject();
   W.key("strategy").value(strategyName(Req.Opts.Placement.Strat));
   W.key("scalarize").value(Req.Opts.Scalarize);
@@ -296,6 +316,8 @@ struct CompileServer::Conn {
   /// False for serveConnection() callers (stdio mode must not close the
   /// process's own stdin/stdout).
   bool OwnsFds = true;
+  /// Accounting identity for requests that carry no "client" field.
+  std::string DefaultClient = "conn-0";
 
   std::mutex WriteMu;
   bool Dead = false; ///< A response write failed; drop later responses.
@@ -400,6 +422,9 @@ void CompileServer::acceptLoop() {
     ConnsAccepted.fetch_add(1, std::memory_order_relaxed);
     auto C = std::make_shared<Conn>();
     C->InFd = C->OutFd = Fd;
+    C->DefaultClient =
+        "conn-" +
+        std::to_string(NextConnId.fetch_add(1, std::memory_order_relaxed) + 1);
     std::lock_guard<std::mutex> L(ConnMu);
     ConnThreads.emplace_back([this, C] { connLoop(C); });
   }
@@ -413,6 +438,9 @@ void CompileServer::serveConnection(int InFd, int OutFd) {
   C->InFd = InFd;
   C->OutFd = OutFd;
   C->OwnsFds = false;
+  C->DefaultClient =
+      "conn-" +
+      std::to_string(NextConnId.fetch_add(1, std::memory_order_relaxed) + 1);
   connLoop(C);
 }
 
@@ -466,17 +494,39 @@ void CompileServer::connLoop(std::shared_ptr<Conn> C) {
 
 bool CompileServer::handleFrame(const std::shared_ptr<Conn> &C,
                                 const std::string &Payload) {
+  const int64_t BytesIn =
+      static_cast<int64_t>(Payload.size() + kFrameHeaderBytes);
+  TraceCollector &TC = TraceCollector::instance();
+  const uint64_t ParseStartNs = TC.enabled() ? TC.nowNs() : 0;
   JsonValue Doc;
   std::string Err;
+  // A payload that fails to parse as a request is still a request for
+  // accounting purposes: it gets a server rid, is attributed to the
+  // connection's client bucket as rejected, and leaves a log line.
+  auto RejectBad = [&](const CompileRequest &Req, const std::string &Msg) {
+    BadRequests.fetch_add(1, std::memory_order_relaxed);
+    int64_t Rid = NextRid.fetch_add(1, std::memory_order_relaxed) + 1;
+    JsonWriter W;
+    W.beginObject();
+    W.key("id").value(Req.Id);
+    W.key("rid").value(Rid);
+    if (!Req.TraceId.empty())
+      W.key("trace_id").value(Req.TraceId);
+    W.key("status").value("bad-request");
+    W.key("error").value(Msg);
+    W.endObject();
+    finishRequest(C, Req, Rid, "bad-request", /*CacheHit=*/false,
+                  /*QueueWaitSec=*/0, /*CompileSec=*/0,
+                  std::chrono::steady_clock::now(), ParseStartNs, BytesIn,
+                  W.str());
+  };
   if (!JsonValue::parse(Payload, Doc, Err)) {
     // The framing layer is still synchronized; only the payload was bad.
-    BadRequests.fetch_add(1, std::memory_order_relaxed);
-    sendStatus(C, 0, "bad-request", Err);
+    RejectBad(CompileRequest(), Err);
     return true;
   }
   if (!Doc.isObject()) {
-    BadRequests.fetch_add(1, std::memory_order_relaxed);
-    sendStatus(C, 0, "bad-request", "payload is not a JSON object");
+    RejectBad(CompileRequest(), "payload is not a JSON object");
     return true;
   }
   if (const JsonValue *Cmd = Doc.get("cmd")) {
@@ -528,20 +578,39 @@ bool CompileServer::handleFrame(const std::shared_ptr<Conn> &C,
   }
   CompileRequest Req;
   if (!parseCompileRequest(Doc, Req, Err)) {
-    BadRequests.fetch_add(1, std::memory_order_relaxed);
-    sendStatus(C, Req.Id, "bad-request", Err);
+    RejectBad(Req, Err);
     return true;
   }
-  handleCompile(C, std::move(Req));
+  int64_t Rid = NextRid.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (TC.enabled())
+    TC.completeSpan("parse", "serve", ParseStartNs, TC.nowNs() - ParseStartNs,
+                    {{"rid", Rid}});
+  handleCompile(C, std::move(Req), Rid, ParseStartNs, BytesIn);
   return true;
 }
 
 void CompileServer::handleCompile(const std::shared_ptr<Conn> &C,
-                                  CompileRequest Req) {
+                                  CompileRequest Req, int64_t Rid,
+                                  uint64_t ReqStartNs, int64_t BytesIn) {
   Requests.fetch_add(1, std::memory_order_relaxed);
+  auto StatusPayload = [&](const char *Status, const std::string &Error) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("id").value(Req.Id);
+    W.key("rid").value(Rid);
+    if (!Req.TraceId.empty())
+      W.key("trace_id").value(Req.TraceId);
+    W.key("status").value(Status);
+    W.key("error").value(Error);
+    W.endObject();
+    return W.str();
+  };
   if (draining()) {
     DrainingRejected.fetch_add(1, std::memory_order_relaxed);
-    sendStatus(C, Req.Id, "draining", "server is draining; request rejected");
+    finishRequest(C, Req, Rid, "draining", /*CacheHit=*/false, 0, 0,
+                  std::chrono::steady_clock::now(), ReqStartNs, BytesIn,
+                  StatusPayload("draining",
+                                "server is draining; request rejected"));
     return;
   }
   // Admission control: bounded queue of admitted-but-not-started work.
@@ -550,9 +619,12 @@ void CompileServer::handleCompile(const std::shared_ptr<Conn> &C,
   do {
     if (Q >= Config.QueueLimit) {
       Overloaded.fetch_add(1, std::memory_order_relaxed);
-      sendStatus(C, Req.Id, "overloaded",
-                 strFormat("admission queue full (%d queued, limit %d)", Q,
-                           Config.QueueLimit));
+      finishRequest(C, Req, Rid, "overloaded", /*CacheHit=*/false, 0, 0,
+                    std::chrono::steady_clock::now(), ReqStartNs, BytesIn,
+                    StatusPayload(
+                        "overloaded",
+                        strFormat("admission queue full (%d queued, limit %d)",
+                                  Q, Config.QueueLimit)));
       return;
     }
   } while (!Queued.compare_exchange_weak(Q, Q + 1, std::memory_order_relaxed));
@@ -563,7 +635,20 @@ void CompileServer::handleCompile(const std::shared_ptr<Conn> &C,
   }
   C->addInFlight();
   auto Admitted = std::chrono::steady_clock::now();
-  Pool->async([this, C, Req, Admitted] {
+  TraceCollector &TC = TraceCollector::instance();
+  const uint64_t AdmittedNs = TC.enabled() ? TC.nowNs() : 0;
+  {
+    std::lock_guard<std::mutex> L(TableMu);
+    InflightInfo &I = Inflight[Rid];
+    I.Rid = Rid;
+    I.Id = Req.Id;
+    I.Client = Req.Client.empty() ? C->DefaultClient : Req.Client;
+    I.Name = Req.Name;
+    I.TraceId = Req.TraceId;
+    I.Admitted = Admitted;
+  }
+  Pool->async([this, C, Req, Rid, ReqStartNs, BytesIn, Admitted,
+               AdmittedNs] {
     Queued.fetch_sub(1, std::memory_order_relaxed);
     auto Dispatched = std::chrono::steady_clock::now();
     double WaitSec =
@@ -572,17 +657,51 @@ void CompileServer::handleCompile(const std::shared_ptr<Conn> &C,
       std::lock_guard<std::mutex> L(MetricsMu);
       QueueWait.record(static_cast<int64_t>(WaitSec * 1e9));
     }
+    TraceCollector &TC = TraceCollector::instance();
+    if (TC.enabled())
+      TC.completeSpan("queue-wait", "serve", AdmittedNs,
+                      static_cast<uint64_t>(WaitSec * 1e9), {{"rid", Rid}});
+    auto StatusPayload = [&](const char *Status, const std::string &Error) {
+      JsonWriter W;
+      W.beginObject();
+      W.key("id").value(Req.Id);
+      W.key("rid").value(Rid);
+      if (!Req.TraceId.empty())
+        W.key("trace_id").value(Req.TraceId);
+      W.key("status").value(Status);
+      W.key("error").value(Error);
+      W.endObject();
+      return W.str();
+    };
     if (Config.RequestTimeoutSec > 0 && WaitSec > Config.RequestTimeoutSec) {
       Timeouts.fetch_add(1, std::memory_order_relaxed);
-      sendStatus(C, Req.Id, "timeout",
-                 strFormat("deadline of %.3f s passed before dispatch "
-                           "(waited %.3f s)",
-                           Config.RequestTimeoutSec, WaitSec));
+      finishRequest(C, Req, Rid, "timeout", /*CacheHit=*/false, WaitSec, 0,
+                    Admitted, ReqStartNs, BytesIn,
+                    StatusPayload(
+                        "timeout",
+                        strFormat("deadline of %.3f s passed before dispatch "
+                                  "(waited %.3f s)",
+                                  Config.RequestTimeoutSec, WaitSec)));
       C->subInFlight();
       return;
     }
+    TraceSpan DispatchSpan("dispatch", "serve",
+                           {{"rid", Rid},
+                            {"trace_id", Req.TraceId},
+                            {"client", Req.Client.empty() ? C->DefaultClient
+                                                          : Req.Client}});
+    {
+      std::lock_guard<std::mutex> L(TableMu);
+      auto It = Inflight.find(Rid);
+      if (It != Inflight.end())
+        It->second.Executing = true;
+    }
     Executing.fetch_add(1, std::memory_order_relaxed);
-    CompileOutcome Out = runCompileRequest(Req, Config.Cache);
+    CompileOutcome Out;
+    {
+      TraceSpan CompileSpan("compile", "serve", {{"rid", Rid}});
+      Out = runCompileRequest(Req, Config.Cache);
+    }
     Executing.fetch_sub(1, std::memory_order_relaxed);
     if (Out.Failed)
       CompileErrors.fetch_add(1, std::memory_order_relaxed);
@@ -590,22 +709,25 @@ void CompileServer::handleCompile(const std::shared_ptr<Conn> &C,
       Ok.fetch_add(1, std::memory_order_relaxed);
     if (Out.CacheHit)
       CacheHits.fetch_add(1, std::memory_order_relaxed);
-    JsonWriter W;
-    W.beginObject();
-    W.key("id").value(Req.Id);
-    W.key("status").value(Out.Failed ? "error" : "ok");
-    W.key("output").value(Out.Output);
-    W.key("cache_hit").value(Out.CacheHit);
-    W.key("wall_s").value(Out.WallSec);
-    W.endObject();
-    // Record before writing: once the client has the response, a metrics
-    // scrape must already see this request in the latency histogram.
-    recordLatency(static_cast<int64_t>(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      Admitted)
-            .count() *
-        1e9));
-    writeResponse(C, W.str());
+    std::string Payload;
+    {
+      TraceSpan RenderSpan("render", "serve", {{"rid", Rid}});
+      JsonWriter W;
+      W.beginObject();
+      W.key("id").value(Req.Id);
+      W.key("rid").value(Rid);
+      if (!Req.TraceId.empty())
+        W.key("trace_id").value(Req.TraceId);
+      W.key("status").value(Out.Failed ? "error" : "ok");
+      W.key("output").value(Out.Output);
+      W.key("cache_hit").value(Out.CacheHit);
+      W.key("wall_s").value(Out.WallSec);
+      W.endObject();
+      Payload = W.str();
+    }
+    finishRequest(C, Req, Rid, Out.Failed ? "error" : "ok", Out.CacheHit,
+                  WaitSec, Out.WallSec, Admitted, ReqStartNs, BytesIn,
+                  Payload);
     C->subInFlight();
   });
 }
@@ -637,6 +759,130 @@ void CompileServer::recordLatency(int64_t Ns) {
   Latency.record(Ns);
 }
 
+void CompileServer::finishRequest(const std::shared_ptr<Conn> &C,
+                                  const CompileRequest &Req, int64_t Rid,
+                                  const char *Status, bool CacheHit,
+                                  double QueueWaitSec, double CompileSec,
+                                  std::chrono::steady_clock::time_point
+                                      Admitted,
+                                  uint64_t ReqStartNs, int64_t BytesIn,
+                                  const std::string &Payload) {
+  const auto Now = std::chrono::steady_clock::now();
+  const double TotalSec =
+      std::chrono::duration<double>(Now - Admitted).count();
+  const bool IsOk = std::strcmp(Status, "ok") == 0;
+  const bool IsError = std::strcmp(Status, "error") == 0;
+  const int64_t BytesOut =
+      static_cast<int64_t>(Payload.size() + kFrameHeaderBytes);
+  const std::string Client =
+      Req.Client.empty() ? C->DefaultClient : Req.Client;
+
+  // Latency covers compiled requests only (ok/error), as before the admin
+  // plane: a rejection answered in microseconds must not deflate p50.
+  if (IsOk || IsError)
+    recordLatency(static_cast<int64_t>(TotalSec * 1e9));
+
+  RequestRecord Rec;
+  Rec.Rid = Rid;
+  Rec.Id = Req.Id;
+  Rec.Client = Client;
+  Rec.Name = Req.Name;
+  Rec.TraceId = Req.TraceId;
+  Rec.Status = Status;
+  Rec.CacheHit = CacheHit;
+  Rec.BytesIn = BytesIn;
+  Rec.BytesOut = BytesOut;
+  Rec.QueueWaitMs = QueueWaitSec * 1e3;
+  Rec.CompileMs = CompileSec * 1e3;
+  Rec.TotalMs = TotalSec * 1e3;
+  Rec.Slow = Config.SlowMs > 0 && Rec.TotalMs >= Config.SlowMs;
+  if (Rec.Slow)
+    SlowRequests.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> L(TableMu);
+    Inflight.erase(Rid);
+    ClientAccount &Acc = Clients[Client];
+    Acc.Requests += 1;
+    if (IsOk)
+      Acc.Ok += 1;
+    else if (IsError)
+      Acc.Errors += 1;
+    else
+      Acc.Rejected += 1;
+    if (CacheHit)
+      Acc.CacheHits += 1;
+    Acc.BytesIn += BytesIn;
+    Acc.BytesOut += BytesOut;
+  }
+  pushTraceRecord(Rec);
+  writeLogLine(Rec);
+
+  TraceCollector &TC = TraceCollector::instance();
+  if (TC.enabled())
+    TC.completeSpan("request", "serve", ReqStartNs, TC.nowNs() - ReqStartNs,
+                    {{"rid", Rid},
+                     {"trace_id", Req.TraceId},
+                     {"client", Client},
+                     {"status", Status}});
+
+  // Everything above happened before the client can observe its response:
+  // a scrape racing the reply sees a consistent, completed request.
+  writeResponse(C, Payload);
+}
+
+void CompileServer::pushTraceRecord(const RequestRecord &Rec) {
+  constexpr size_t kRecentCap = 64;
+  constexpr size_t kSlowestCap = 16;
+  std::lock_guard<std::mutex> L(TraceMu);
+  Recent.push_front(Rec);
+  if (Recent.size() > kRecentCap)
+    Recent.pop_back();
+  // The slow table keeps the all-time slowest: a --log-slow-flagged request
+  // can only be displaced by a strictly slower one, never by recency.
+  if (Slowest.size() < kSlowestCap) {
+    Slowest.push_back(Rec);
+    std::sort(Slowest.begin(), Slowest.end(),
+              [](const RequestRecord &A, const RequestRecord &B) {
+                return A.TotalMs > B.TotalMs;
+              });
+  } else if (Rec.TotalMs > Slowest.back().TotalMs) {
+    Slowest.back() = Rec;
+    std::sort(Slowest.begin(), Slowest.end(),
+              [](const RequestRecord &A, const RequestRecord &B) {
+                return A.TotalMs > B.TotalMs;
+              });
+  }
+}
+
+void CompileServer::writeLogLine(const RequestRecord &Rec) {
+  if (!Config.LogStream)
+    return;
+  JsonWriter W;
+  W.beginObject();
+  W.key("ts_s").value(std::chrono::duration<double>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count());
+  W.key("rid").value(Rec.Rid);
+  W.key("id").value(Rec.Id);
+  W.key("client").value(Rec.Client);
+  W.key("name").value(Rec.Name);
+  if (!Rec.TraceId.empty())
+    W.key("trace_id").value(Rec.TraceId);
+  W.key("status").value(Rec.Status);
+  W.key("cache_hit").value(Rec.CacheHit);
+  W.key("queue_wait_ms").value(Rec.QueueWaitMs);
+  W.key("compile_ms").value(Rec.CompileMs);
+  W.key("total_ms").value(Rec.TotalMs);
+  W.key("bytes_in").value(Rec.BytesIn);
+  W.key("bytes_out").value(Rec.BytesOut);
+  W.key("slow").value(Rec.Slow);
+  W.endObject();
+  std::lock_guard<std::mutex> L(LogMu);
+  std::fprintf(Config.LogStream, "%s\n", W.str().c_str());
+  std::fflush(Config.LogStream);
+}
+
 void CompileServer::requestDrain() {
   bool Expected = false;
   if (!Draining.compare_exchange_strong(Expected, true,
@@ -660,6 +906,181 @@ void CompileServer::wait() {
   for (std::thread &T : Threads)
     T.join();
   Pool->wait();
+  // The admin plane outlives the wire protocol on purpose: /readyz answers
+  // 503 for the entire drain window, and a final scrape still works while
+  // the last responses are being written. It stops only once everything
+  // else is done.
+  if (Admin)
+    Admin->stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Admin plane
+//===----------------------------------------------------------------------===//
+
+bool CompileServer::startAdmin(std::string &Err) {
+  if (Config.AdminSpec.empty()) {
+    Err = "no --admin address configured";
+    return false;
+  }
+  if (Admin) {
+    Err = "admin server already started";
+    return false;
+  }
+  // Publish Admin before the listener can accept: the first scrape may
+  // arrive inside start(), and its handler thread reads Admin (for the
+  // admin.* gauges) — assigning afterwards would race that read.
+  Admin = std::make_unique<HttpServer>(
+      [this](const HttpRequest &R) { return handleAdmin(R); });
+  if (!Admin->start(Config.AdminSpec, Err)) {
+    Admin.reset();
+    return false;
+  }
+  return true;
+}
+
+std::string CompileServer::adminAddress() const {
+  return Admin ? Admin->address() : std::string();
+}
+
+HttpResponse CompileServer::handleAdmin(const HttpRequest &R) {
+  HttpResponse Resp;
+  if (R.Method != "GET") {
+    Resp.Status = 405;
+    Resp.Body = "method not allowed\n";
+    Resp.ExtraHeaders.emplace_back("Allow", "GET");
+    return Resp;
+  }
+  const std::string Path = R.path();
+  if (Path == "/metrics") {
+    // The canonical Prometheus content type; the body is the same
+    // exposition the socket metrics command returns.
+    Resp.ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    Resp.Body = metricsSnapshot().prometheus();
+    return Resp;
+  }
+  if (Path == "/healthz") {
+    Resp.Body = "ok\n";
+    return Resp;
+  }
+  if (Path == "/readyz") {
+    if (draining()) {
+      Resp.Status = 503;
+      Resp.Body = "draining\n";
+    } else {
+      Resp.Body = "ready\n";
+    }
+    return Resp;
+  }
+  if (Path == "/statusz") {
+    Resp.ContentType = "application/json";
+    Resp.Body = statuszJson();
+    return Resp;
+  }
+  if (Path == "/tracez") {
+    Resp.ContentType = "application/json";
+    Resp.Body = tracezJson();
+    return Resp;
+  }
+  Resp.Status = 404;
+  Resp.Body = "not found\n";
+  return Resp;
+}
+
+std::string CompileServer::statuszJson() const {
+  const auto Now = std::chrono::steady_clock::now();
+  JsonWriter W;
+  W.beginObject();
+  W.key("uptime_s").value(
+      std::chrono::duration<double>(Now - StartedAt).count());
+  W.key("version").value(kGcaCacheVersion);
+  W.key("draining").value(draining());
+  W.key("jobs").value(static_cast<int64_t>(Pool->numThreads()));
+  W.key("queue_depth").value(
+      static_cast<int64_t>(Queued.load(std::memory_order_relaxed)));
+  W.key("queue_limit").value(static_cast<int64_t>(Config.QueueLimit));
+  W.key("executing").value(
+      static_cast<int64_t>(Executing.load(std::memory_order_relaxed)));
+  std::lock_guard<std::mutex> L(TableMu);
+  W.key("inflight").beginArray();
+  for (const auto &[Rid, I] : Inflight) {
+    W.beginObject();
+    W.key("rid").value(Rid);
+    W.key("id").value(I.Id);
+    W.key("client").value(I.Client);
+    W.key("name").value(I.Name);
+    if (!I.TraceId.empty())
+      W.key("trace_id").value(I.TraceId);
+    W.key("age_ms").value(
+        std::chrono::duration<double>(Now - I.Admitted).count() * 1e3);
+    W.key("executing").value(I.Executing);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("clients").beginObject();
+  for (const auto &[Name, Acc] : Clients) {
+    W.key(Name).beginObject();
+    W.key("requests").value(Acc.Requests);
+    W.key("ok").value(Acc.Ok);
+    W.key("errors").value(Acc.Errors);
+    W.key("rejected").value(Acc.Rejected);
+    W.key("cache_hits").value(Acc.CacheHits);
+    W.key("bytes_in").value(Acc.BytesIn);
+    W.key("bytes_out").value(Acc.BytesOut);
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  return W.str();
+}
+
+std::string CompileServer::tracezJson() const {
+  auto EmitRecord = [](JsonWriter &W, const RequestRecord &Rec) {
+    W.beginObject();
+    W.key("rid").value(Rec.Rid);
+    W.key("id").value(Rec.Id);
+    W.key("client").value(Rec.Client);
+    W.key("name").value(Rec.Name);
+    if (!Rec.TraceId.empty())
+      W.key("trace_id").value(Rec.TraceId);
+    W.key("status").value(Rec.Status);
+    W.key("cache_hit").value(Rec.CacheHit);
+    W.key("slow").value(Rec.Slow);
+    W.key("bytes_in").value(Rec.BytesIn);
+    W.key("bytes_out").value(Rec.BytesOut);
+    W.key("total_ms").value(Rec.TotalMs);
+    // The span tree: queue-wait and compile are measured; render/transport
+    // is whatever remains of the request's total.
+    W.key("spans").beginArray();
+    W.beginObject();
+    W.key("name").value("queue-wait");
+    W.key("ms").value(Rec.QueueWaitMs);
+    W.endObject();
+    W.beginObject();
+    W.key("name").value("compile");
+    W.key("ms").value(Rec.CompileMs);
+    W.endObject();
+    W.beginObject();
+    W.key("name").value("render");
+    W.key("ms").value(std::max(0.0, Rec.TotalMs - Rec.QueueWaitMs -
+                                        Rec.CompileMs));
+    W.endObject();
+    W.endArray();
+    W.endObject();
+  };
+  JsonWriter W;
+  W.beginObject();
+  std::lock_guard<std::mutex> L(TraceMu);
+  W.key("recent").beginArray();
+  for (const RequestRecord &Rec : Recent)
+    EmitRecord(W, Rec);
+  W.endArray();
+  W.key("slowest").beginArray();
+  for (const RequestRecord &Rec : Slowest)
+    EmitRecord(W, Rec);
+  W.endArray();
+  W.endObject();
+  return W.str();
 }
 
 MetricsSnapshot CompileServer::metricsSnapshot() const {
@@ -685,6 +1106,15 @@ MetricsSnapshot CompileServer::metricsSnapshot() const {
   Snap.Counters["server.queue-limit"] = Config.QueueLimit;
   Snap.Counters["server.jobs"] = Pool->numThreads();
   Snap.Counters["server.draining"] = draining() ? 1 : 0;
+  Snap.Counters["server.slow-requests"] = Load(SlowRequests);
+  Snap.Counters["server.uptime-seconds"] = static_cast<int64_t>(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    StartedAt)
+          .count());
+  if (Admin) {
+    Snap.Counters["admin.requests"] = Admin->requestsServed();
+    Snap.Counters["admin.bad-requests"] = Admin->badRequests();
+  }
   Snap.Counters["io.faults-injected"] = FaultInjector::instance().injected();
   if (Config.Cache) {
     CacheStats CS = Config.Cache->stats();

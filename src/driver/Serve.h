@@ -60,12 +60,17 @@
 
 #include "driver/Pipeline.h"
 #include "support/Frame.h"
+#include "support/Http.h"
 #include "support/Json.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -84,6 +89,12 @@ struct CompileRequest {
   CompileOptions Opts;
   bool Stats = false;
   bool PrintPlans = true;
+  /// Optional client identity ("client" key): the per-client accounting
+  /// bucket in /statusz. Empty = attributed to the connection (conn-N).
+  std::string Client;
+  /// Optional client-supplied correlation id ("trace_id" key): echoed in
+  /// the response and stamped on every trace span of this request.
+  std::string TraceId;
 };
 
 /// Decodes \p Doc (a parsed frame payload) into \p Req. Strict: unknown
@@ -136,6 +147,16 @@ struct ServerConfig {
   /// Shared across all clients; may be null (uncached server). Owned by
   /// the caller.
   ResultCache *Cache = nullptr;
+  /// "HOST:PORT" for the HTTP admin plane (`--admin`); empty = no admin
+  /// listener. Port 0 binds an ephemeral port (see adminAddress()).
+  std::string AdminSpec;
+  /// Structured request log: one JSON line per finished request. Owned by
+  /// the caller (the server never opens or closes it); null = no log.
+  FILE *LogStream = nullptr;
+  /// Requests slower than this (admission -> response, ms) are flagged
+  /// `"slow":true` in the log, counted in server.slow-requests, and pinned
+  /// into the /tracez slow table. 0 disables.
+  double SlowMs = 0;
 };
 
 class CompileServer {
@@ -176,20 +197,83 @@ public:
   /// One counter out of metricsSnapshot(), for tests.
   int64_t counter(const std::string &Name) const;
 
+  /// Starts the HTTP admin plane on Config.AdminSpec (`GET /metrics`,
+  /// `/healthz`, `/readyz`, `/statusz`, `/tracez`). Independent of start():
+  /// a stdio-mode server can still expose an admin port. \returns false
+  /// with \p Err set when the spec is empty or the bind fails.
+  bool startAdmin(std::string &Err);
+
+  /// "HOST:PORT" the admin plane actually bound (resolves port 0); empty
+  /// when no admin listener is running.
+  std::string adminAddress() const;
+
+  /// Routes one admin request; public so tests can drive endpoints without
+  /// a real TCP connection.
+  HttpResponse handleAdmin(const HttpRequest &R);
+
+  /// The /statusz document: uptime, version, queue state, in-flight request
+  /// table with per-request age, and the per-client accounting table.
+  std::string statuszJson() const;
+
+  /// The /tracez document: recently completed request span summaries plus a
+  /// table pinned to the slowest (and every --log-slow-flagged) requests.
+  std::string tracezJson() const;
+
 private:
   struct Conn;
+
+  /// In-flight request table row (/statusz).
+  struct InflightInfo {
+    int64_t Rid = 0; ///< Server-assigned request id.
+    int64_t Id = 0;  ///< Client-supplied wire id.
+    std::string Client;
+    std::string Name;
+    std::string TraceId;
+    std::chrono::steady_clock::time_point Admitted;
+    bool Executing = false; ///< Dispatched to a worker (vs queued).
+  };
+
+  /// Per-client accounting (/statusz), keyed by the request's "client"
+  /// field, defaulting to the connection identity.
+  struct ClientAccount {
+    int64_t Requests = 0, Ok = 0, Errors = 0, Rejected = 0, CacheHits = 0;
+    int64_t BytesIn = 0, BytesOut = 0;
+  };
+
+  /// One completed request's span summary (/tracez ring buffer).
+  struct RequestRecord {
+    int64_t Rid = 0, Id = 0;
+    std::string Client, Name, TraceId, Status;
+    bool CacheHit = false, Slow = false;
+    int64_t BytesIn = 0, BytesOut = 0;
+    double QueueWaitMs = 0, CompileMs = 0, TotalMs = 0;
+  };
 
   void acceptLoop();
   void connLoop(std::shared_ptr<Conn> C);
   /// Dispatches one decoded frame payload. \returns false when the
   /// connection must close (unrecoverable framing state).
   bool handleFrame(const std::shared_ptr<Conn> &C, const std::string &Payload);
-  void handleCompile(const std::shared_ptr<Conn> &C, CompileRequest Req);
+  void handleCompile(const std::shared_ptr<Conn> &C, CompileRequest Req,
+                     int64_t Rid, uint64_t ReqStartNs, int64_t BytesIn);
   void writeResponse(const std::shared_ptr<Conn> &C,
                      const std::string &Payload);
   void sendStatus(const std::shared_ptr<Conn> &C, int64_t Id,
                   const char *Status, const std::string &Error);
   void recordLatency(int64_t Ns);
+
+  /// The single request-completion path — for responses and rejections
+  /// alike: per-client accounting, /tracez record, request log line, the
+  /// "request" trace span, then the response write — in that order, so a
+  /// scrape racing the client's read never misses a finished request.
+  void finishRequest(const std::shared_ptr<Conn> &C, const CompileRequest &Req,
+                     int64_t Rid, const char *Status, bool CacheHit,
+                     double QueueWaitSec, double CompileSec,
+                     std::chrono::steady_clock::time_point Admitted,
+                     uint64_t ReqStartNs, int64_t BytesIn,
+                     const std::string &Payload);
+  void writeLogLine(const RequestRecord &Rec);
+  void pushTraceRecord(const RequestRecord &Rec);
 
   ServerConfig Config;
   std::unique_ptr<ThreadPool> Pool;
@@ -211,11 +295,29 @@ private:
   std::atomic<int64_t> ConnsAccepted{0}, ConnsActive{0}, Requests{0}, Ok{0},
       CompileErrors{0}, BadRequests{0}, Overloaded{0}, Timeouts{0},
       DrainingRejected{0}, BadFrames{0}, WriteErrors{0}, QueuePeak{0},
-      CacheHits{0};
+      CacheHits{0}, SlowRequests{0};
 
   mutable std::mutex MetricsMu;
   Histogram Latency;   ///< Admission -> response written, ns.
   Histogram QueueWait; ///< Admission -> dispatch, ns.
+
+  // --- Admin plane -------------------------------------------------------
+  std::unique_ptr<HttpServer> Admin;
+  const std::chrono::steady_clock::time_point StartedAt =
+      std::chrono::steady_clock::now();
+
+  std::atomic<int64_t> NextRid{0};    ///< Server-assigned request ids.
+  std::atomic<int64_t> NextConnId{0}; ///< Connection identities (conn-N).
+
+  mutable std::mutex TableMu; ///< Guards Inflight and Clients.
+  std::map<int64_t, InflightInfo> Inflight;
+  std::map<std::string, ClientAccount> Clients;
+
+  mutable std::mutex TraceMu; ///< Guards Recent and Slowest.
+  std::deque<RequestRecord> Recent;  ///< Newest-first ring, cap 64.
+  std::vector<RequestRecord> Slowest; ///< Slowest-first, cap 16.
+
+  std::mutex LogMu; ///< Serializes request-log lines.
 };
 
 /// Connects to a Unix socket; returns the fd or -1 with \p Err set.

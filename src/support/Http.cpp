@@ -1,0 +1,486 @@
+//===- support/Http.cpp - Minimal HTTP/1.1 admin responder ----------------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Http.h"
+
+#include "support/Io.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gca {
+
+namespace {
+
+bool iequals(const std::string &A, const std::string &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+/// Splits "HOST:PORT"; empty host or "localhost" maps to 127.0.0.1. Only
+/// numeric dotted-quad hosts are accepted — the admin plane deliberately
+/// does no name resolution.
+bool parseHostPort(const std::string &Spec, std::string &Host, uint16_t &Port,
+                   std::string &Err) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos) {
+    Err = "expected HOST:PORT, got '" + Spec + "'";
+    return false;
+  }
+  Host = Spec.substr(0, Colon);
+  if (Host.empty() || Host == "localhost")
+    Host = "127.0.0.1";
+  const std::string PortStr = Spec.substr(Colon + 1);
+  char *Rest = nullptr;
+  long V = std::strtol(PortStr.c_str(), &Rest, 10);
+  if (PortStr.empty() || !Rest || *Rest != '\0' || V < 0 || V > 65535) {
+    Err = "bad port '" + PortStr + "'";
+    return false;
+  }
+  Port = static_cast<uint16_t>(V);
+  return true;
+}
+
+/// Parses the request head in \p Raw (everything up to but excluding the
+/// blank line) into \p Req. Tolerates bare-\n line endings.
+bool parseRequestHead(const std::string &Raw, HttpRequest &Req) {
+  size_t Pos = 0;
+  auto nextLine = [&](std::string &Line) -> bool {
+    if (Pos >= Raw.size())
+      return false;
+    size_t Nl = Raw.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Raw.size();
+    size_t End = Nl;
+    if (End > Pos && Raw[End - 1] == '\r')
+      --End;
+    Line = Raw.substr(Pos, End - Pos);
+    Pos = Nl + 1;
+    return true;
+  };
+
+  std::string Line;
+  if (!nextLine(Line) || Line.empty())
+    return false;
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Sp1 == std::string::npos ? std::string::npos
+                                        : Line.find(' ', Sp1 + 1);
+  if (Sp1 == std::string::npos || Sp2 == std::string::npos)
+    return false;
+  Req.Method = Line.substr(0, Sp1);
+  Req.Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  Req.Version = Line.substr(Sp2 + 1);
+  if (Req.Method.empty() || Req.Target.empty() ||
+      Req.Version.rfind("HTTP/", 0) != 0)
+    return false;
+
+  while (nextLine(Line)) {
+    if (Line.empty())
+      break;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      return false;
+    std::string Name = Line.substr(0, Colon);
+    size_t ValStart = Colon + 1;
+    while (ValStart < Line.size() &&
+           (Line[ValStart] == ' ' || Line[ValStart] == '\t'))
+      ++ValStart;
+    size_t ValEnd = Line.size();
+    while (ValEnd > ValStart &&
+           (Line[ValEnd - 1] == ' ' || Line[ValEnd - 1] == '\t'))
+      --ValEnd;
+    if (Name.empty())
+      return false;
+    Req.Headers.emplace_back(Name, Line.substr(ValStart, ValEnd - ValStart));
+  }
+  return true;
+}
+
+} // namespace
+
+const std::string *HttpRequest::header(const std::string &Name) const {
+  for (const auto &H : Headers)
+    if (iequals(H.first, Name))
+      return &H.second;
+  return nullptr;
+}
+
+std::string HttpRequest::path() const {
+  size_t Q = Target.find('?');
+  return Q == std::string::npos ? Target : Target.substr(0, Q);
+}
+
+HttpReadStatus readHttpRequest(int Fd, HttpRequest &Req, size_t MaxHeaderBytes,
+                               int AbortFd) {
+  // Byte-at-a-time through ioReadFull: the request head is tiny, the byte
+  // loop keeps the terminator scan trivial, and every byte still crosses
+  // the checked/fault-injected read path. Each byte is preceded by a poll
+  // on {Fd, AbortFd} so a stopping server can reclaim the thread even if
+  // the client never finishes its request.
+  std::string Raw;
+  Raw.reserve(256);
+  for (;;) {
+    if (Raw.size() >= MaxHeaderBytes)
+      return HttpReadStatus::TooLarge;
+
+    struct pollfd P[2];
+    P[0].fd = Fd;
+    P[0].events = POLLIN;
+    P[0].revents = 0;
+    P[1].fd = AbortFd;
+    P[1].events = POLLIN;
+    P[1].revents = 0;
+    int NP = AbortFd >= 0 ? 2 : 1;
+    int R = ::poll(P, static_cast<nfds_t>(NP), -1);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return HttpReadStatus::IoError;
+    }
+    if (NP == 2 && (P[1].revents & (POLLIN | POLLHUP | POLLERR)))
+      return HttpReadStatus::Aborted;
+    if (!(P[0].revents & (POLLIN | POLLHUP | POLLERR)))
+      continue;
+
+    char C;
+    IoStatus S = ioReadFull(Fd, &C, 1);
+    if (S == IoStatus::Eof)
+      return Raw.empty() ? HttpReadStatus::Eof : HttpReadStatus::Truncated;
+    if (S != IoStatus::Ok)
+      return HttpReadStatus::IoError;
+    Raw.push_back(C);
+
+    // Head terminator: CRLFCRLF, or bare LFLF from sloppy clients.
+    if (Raw.size() >= 4 && Raw.compare(Raw.size() - 4, 4, "\r\n\r\n") == 0)
+      break;
+    if (Raw.size() >= 2 && Raw.compare(Raw.size() - 2, 2, "\n\n") == 0)
+      break;
+  }
+
+  Req = HttpRequest();
+  return parseRequestHead(Raw, Req) ? HttpReadStatus::Ok
+                                    : HttpReadStatus::Malformed;
+}
+
+const char *httpStatusText(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 431:
+    return "Request Header Fields Too Large";
+  case 503:
+    return "Service Unavailable";
+  default:
+    return "Unknown";
+  }
+}
+
+bool writeHttpResponse(int Fd, const HttpResponse &R) {
+  std::string Out;
+  Out.reserve(R.Body.size() + 256);
+  char Line[128];
+  std::snprintf(Line, sizeof(Line), "HTTP/1.1 %d %s\r\n", R.Status,
+                httpStatusText(R.Status));
+  Out += Line;
+  Out += "Content-Type: " + R.ContentType + "\r\n";
+  std::snprintf(Line, sizeof(Line), "Content-Length: %zu\r\n", R.Body.size());
+  Out += Line;
+  for (const auto &H : R.ExtraHeaders)
+    Out += H.first + ": " + H.second + "\r\n";
+  Out += "Connection: close\r\n\r\n";
+  Out += R.Body;
+  return ioWriteFull(Fd, Out.data(), Out.size()) == IoStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// HttpServer
+//===----------------------------------------------------------------------===//
+
+bool HttpServer::start(const std::string &HostPort, std::string &Err) {
+  if (ListenFd >= 0) {
+    Err = "admin server already started";
+    return false;
+  }
+  uint16_t WantPort = 0;
+  if (!parseHostPort(HostPort, Host, WantPort, Err))
+    return false;
+
+  struct sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(WantPort);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad admin host '" + Host + "' (numeric IPv4 or 'localhost' only)";
+    return false;
+  }
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  (void)::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Err = "bind " + HostPort + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+
+  // Learn the kernel-assigned port when binding port 0.
+  struct sockaddr_in Bound;
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(Fd, reinterpret_cast<struct sockaddr *>(&Bound),
+                    &BoundLen) < 0) {
+    Err = std::string("getsockname: ") + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  Port = ntohs(Bound.sin_port);
+
+  if (::pipe(StopPipe) < 0) {
+    Err = std::string("pipe: ") + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+
+  ListenFd = Fd;
+  Stopping.store(false, std::memory_order_relaxed);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (ListenFd < 0)
+    return;
+  Stopping.store(true, std::memory_order_relaxed);
+  char B = 1;
+  (void)!::write(StopPipe[1], &B, 1);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+
+  std::vector<std::unique_ptr<ConnSlot>> Slots;
+  {
+    std::lock_guard<std::mutex> L(ThreadsMu);
+    Slots.swap(ConnThreads);
+  }
+  for (auto &S : Slots)
+    if (S->T.joinable())
+      S->T.join();
+
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::close(StopPipe[0]);
+  ::close(StopPipe[1]);
+  StopPipe[0] = StopPipe[1] = -1;
+}
+
+std::string HttpServer::address() const {
+  if (Port == 0 && Host.empty())
+    return "";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%s:%u", Host.c_str(),
+                static_cast<unsigned>(Port));
+  return Buf;
+}
+
+void HttpServer::acceptLoop() {
+  while (!Stopping.load(std::memory_order_relaxed)) {
+    struct pollfd P[2];
+    P[0].fd = ListenFd;
+    P[0].events = POLLIN;
+    P[0].revents = 0;
+    P[1].fd = StopPipe[0];
+    P[1].events = POLLIN;
+    P[1].revents = 0;
+    int R = ::poll(P, 2, -1);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (P[1].revents & POLLIN)
+      break;
+    if (!(P[0].revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    reapFinished();
+    // The thread is fully constructed before the slot is published; stop()
+    // joins the accept loop before sweeping slots, so it never observes a
+    // slot whose thread is still being assigned.
+    auto Slot = std::make_unique<ConnSlot>();
+    ConnSlot *S = Slot.get();
+    S->T = std::thread([this, Fd, S] {
+      serveConnection(Fd);
+      S->Done.store(true, std::memory_order_release);
+    });
+    std::lock_guard<std::mutex> L(ThreadsMu);
+    ConnThreads.push_back(std::move(Slot));
+  }
+}
+
+void HttpServer::reapFinished() {
+  std::lock_guard<std::mutex> L(ThreadsMu);
+  for (size_t I = 0; I < ConnThreads.size();) {
+    ConnSlot &S = *ConnThreads[I];
+    if (S.Done.load(std::memory_order_acquire) && S.T.joinable()) {
+      S.T.join();
+      ConnThreads.erase(ConnThreads.begin() +
+                        static_cast<std::ptrdiff_t>(I));
+    } else {
+      ++I;
+    }
+  }
+}
+
+void HttpServer::serveConnection(int Fd) {
+  HttpRequest Req;
+  HttpReadStatus S =
+      readHttpRequest(Fd, Req, kMaxHttpHeaderBytes, StopPipe[0]);
+  switch (S) {
+  case HttpReadStatus::Ok: {
+    HttpResponse R = Handle(Req);
+    if (writeHttpResponse(Fd, R))
+      Served.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+  case HttpReadStatus::TooLarge: {
+    BadRequests.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse R;
+    R.Status = 431;
+    R.Body = "header block too large\n";
+    (void)writeHttpResponse(Fd, R);
+    break;
+  }
+  case HttpReadStatus::Malformed: {
+    BadRequests.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse R;
+    R.Status = 400;
+    R.Body = "malformed request\n";
+    (void)writeHttpResponse(Fd, R);
+    break;
+  }
+  case HttpReadStatus::Eof:
+  case HttpReadStatus::Truncated:
+  case HttpReadStatus::Aborted:
+  case HttpReadStatus::IoError:
+    // Nothing useful to answer: the peer is gone, never spoke, or we are
+    // shutting down. Truncated/IoError still count as bad requests so the
+    // failure is visible in /statusz.
+    if (S == HttpReadStatus::Truncated || S == HttpReadStatus::IoError)
+      BadRequests.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+  ::close(Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// httpGet
+//===----------------------------------------------------------------------===//
+
+bool httpGet(const std::string &HostPort, const std::string &Path, int &Status,
+             std::string &Body, std::string &Err) {
+  std::string Host;
+  uint16_t Port = 0;
+  if (!parseHostPort(HostPort, Host, Port, Err))
+    return false;
+
+  struct sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad host '" + Host + "'";
+    return false;
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) < 0) {
+    Err = "connect " + HostPort + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+
+  std::string Req = "GET " + Path + " HTTP/1.1\r\nHost: " + HostPort +
+                    "\r\nConnection: close\r\n\r\n";
+  if (ioWriteFull(Fd, Req.data(), Req.size()) != IoStatus::Ok) {
+    Err = "write failed";
+    ::close(Fd);
+    return false;
+  }
+
+  std::string Raw;
+  if (ioReadToEof(Fd, Raw) != IoStatus::Ok) {
+    Err = "read failed";
+    ::close(Fd);
+    return false;
+  }
+  ::close(Fd);
+
+  // Split head from body on the first blank line.
+  size_t HeadEnd = Raw.find("\r\n\r\n");
+  size_t BodyStart;
+  if (HeadEnd != std::string::npos) {
+    BodyStart = HeadEnd + 4;
+  } else {
+    HeadEnd = Raw.find("\n\n");
+    if (HeadEnd == std::string::npos) {
+      Err = "no header terminator in response";
+      return false;
+    }
+    BodyStart = HeadEnd + 2;
+  }
+  // Status line: "HTTP/1.1 NNN reason".
+  size_t Sp = Raw.find(' ');
+  if (Sp == std::string::npos || Raw.rfind("HTTP/", 0) != 0) {
+    Err = "malformed status line";
+    return false;
+  }
+  char *Rest = nullptr;
+  long Code = std::strtol(Raw.c_str() + Sp + 1, &Rest, 10);
+  if (!Rest || Code < 100 || Code > 599) {
+    Err = "malformed status code";
+    return false;
+  }
+  Status = static_cast<int>(Code);
+  Body = Raw.substr(BodyStart);
+  return true;
+}
+
+} // namespace gca

@@ -1,0 +1,176 @@
+//===- support/Http.h - Minimal HTTP/1.1 admin responder --------*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small HTTP/1.1 responder for the compile server's admin
+/// plane (`--admin=HOST:PORT`): enough protocol to serve `GET /metrics`,
+/// `/healthz`, `/readyz`, `/statusz`, and `/tracez` to Prometheus, curl, and
+/// load balancers — and nothing more. One request per connection
+/// (`Connection: close`), GET-only routing left to the handler, bounded
+/// header size, no keep-alive, no chunked encoding, no TLS.
+///
+/// Every byte moves through the checked ioReadFull/ioWriteFull wrappers
+/// (support/Io.h), so the responder inherits EINTR/partial-transfer handling
+/// and the GCA_FAULT injection seam: a scrape under `short-write=40` storms
+/// completes byte-identically or fails loudly, never silently truncated.
+///
+/// Failure domains mirror the frame layer's discipline: a truncated request
+/// or dead peer costs only its own connection; an oversized header block is
+/// answered `431`, a request line that is not HTTP is answered `400`, and
+/// the listener keeps accepting through all of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_SUPPORT_HTTP_H
+#define GCA_SUPPORT_HTTP_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gca {
+
+/// Header-block cap: a legitimate scrape request is a few hundred bytes, so
+/// anything beyond this is a protocol error answered with 431.
+inline constexpr size_t kMaxHttpHeaderBytes = 8192;
+
+/// One parsed request head (the admin plane ignores bodies: every endpoint
+/// is a GET, and non-GET methods are answered 405 without reading further).
+struct HttpRequest {
+  std::string Method;  ///< "GET", verbatim (case-sensitive per RFC 9110).
+  std::string Target;  ///< Request target, e.g. "/metrics".
+  std::string Version; ///< "HTTP/1.1".
+  std::vector<std::pair<std::string, std::string>> Headers;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string *header(const std::string &Name) const;
+
+  /// \p Target with any "?query" suffix removed.
+  std::string path() const;
+};
+
+enum class HttpReadStatus : uint8_t {
+  Ok,        ///< A complete, parseable request head was read.
+  Eof,       ///< The peer closed before sending the first byte.
+  Truncated, ///< The peer closed mid-request (no response owed).
+  TooLarge,  ///< Header block exceeded the cap; answer 431 and close.
+  Malformed, ///< Bytes arrived but are not an HTTP request; answer 400.
+  Aborted,   ///< AbortFd became readable (server stopping).
+  IoError,   ///< read failed with a non-retryable errno.
+};
+
+/// Reads one request head from \p Fd (through ioReadFull, so GCA_FAULT
+/// exercises this path) until the blank line, \p MaxHeaderBytes, EOF, or
+/// \p AbortFd becoming readable — the server's stop pipe, so a hung client
+/// cannot pin a connection thread past shutdown.
+HttpReadStatus readHttpRequest(int Fd, HttpRequest &Req,
+                               size_t MaxHeaderBytes = kMaxHttpHeaderBytes,
+                               int AbortFd = -1);
+
+struct HttpResponse {
+  int Status = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+  /// Extra response headers (e.g. {"Allow", "GET"} on a 405).
+  std::vector<std::pair<std::string, std::string>> ExtraHeaders;
+};
+
+/// Reason phrase for the handful of status codes the admin plane emits.
+const char *httpStatusText(int Status);
+
+/// Serializes \p R (status line, Content-Type/Length, Connection: close,
+/// body) through ioWriteFull. \returns false on write failure.
+bool writeHttpResponse(int Fd, const HttpResponse &R);
+
+/// A TCP listener dispatching each accepted connection to a handler on its
+/// own thread: read one request, answer it, close. Binding to port 0 picks
+/// an ephemeral port, readable from port()/address() after start().
+class HttpServer {
+public:
+  using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+  explicit HttpServer(Handler H) : Handle(std::move(H)) {}
+  ~HttpServer() { stop(); }
+
+  HttpServer(const HttpServer &) = delete;
+  HttpServer &operator=(const HttpServer &) = delete;
+
+  /// Binds \p HostPort ("HOST:PORT"; HOST may be a dotted IPv4 address,
+  /// "localhost", or empty for 127.0.0.1; PORT 0 = ephemeral), listens, and
+  /// spawns the accept loop. \returns false with \p Err set on failure.
+  bool start(const std::string &HostPort, std::string &Err);
+
+  /// Stops accepting, wakes blocked reads via the stop pipe, and joins the
+  /// accept loop and every connection thread. Idempotent.
+  void stop();
+
+  /// The bound port (resolves port 0); 0 before start().
+  uint16_t port() const { return Port; }
+
+  /// "HOST:PORT" with the resolved port; empty before start().
+  std::string address() const;
+
+  /// Serves exactly one already-open connection on the calling thread and
+  /// closes \p Fd — the unit tests' socketpair harness.
+  void serveConnection(int Fd);
+
+  /// Requests answered with a handler-produced response.
+  int64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped or answered 400/431 before reaching the handler.
+  int64_t badRequests() const {
+    return BadRequests.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// One connection thread plus its completion flag, so the accept loop can
+  /// join finished threads eagerly instead of accumulating one dormant
+  /// std::thread per scrape until stop().
+  struct ConnSlot {
+    std::thread T;
+    std::atomic<bool> Done{false};
+  };
+
+  void acceptLoop();
+  void reapFinished();
+
+  Handler Handle;
+  int ListenFd = -1;
+  int StopPipe[2] = {-1, -1}; ///< Written once on stop; polled, never read.
+  std::string Host;
+  uint16_t Port = 0;
+  std::thread AcceptThread;
+  std::atomic<bool> Stopping{false};
+
+  std::mutex ThreadsMu;
+  std::vector<std::unique_ptr<ConnSlot>> ConnThreads;
+
+  std::atomic<int64_t> Served{0};
+  std::atomic<int64_t> BadRequests{0};
+};
+
+/// Blocking one-shot HTTP client: connects to \p HostPort, issues
+/// `GET <Path>`, and returns the status code and body (headers are parsed
+/// and discarded; the connection reads to EOF, which `Connection: close`
+/// guarantees is the body's end). The scraping side of the admin plane —
+/// gca-load's /metrics cross-check and the tests — shares this one client
+/// so both ends of the wire go through the checked I/O layer. \returns
+/// false with \p Err set on connect/transport/parse failure.
+bool httpGet(const std::string &HostPort, const std::string &Path,
+             int &Status, std::string &Body, std::string &Err);
+
+} // namespace gca
+
+#endif // GCA_SUPPORT_HTTP_H

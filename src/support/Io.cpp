@@ -103,6 +103,62 @@ IoStatus ioWriteFull(int Fd, const void *Buf, size_t Len) {
   return IoStatus::Ok;
 }
 
+IoStatus ioReadToEof(int Fd, std::string &Out, size_t MaxBytes) {
+  char Buf[4096];
+  for (;;) {
+    size_t Want = sizeof(Buf);
+    if (Out.size() + Want > MaxBytes) {
+      if (Out.size() >= MaxBytes)
+        return IoStatus::Error;
+      Want = MaxBytes - Out.size();
+    }
+    // Reuse the checked single-buffer loop for its retry/injection edges;
+    // Short here just means "fewer than Want before EOF", which for a
+    // read-to-EOF is success, not truncation.
+    size_t Before = Out.size();
+    Out.resize(Before + Want);
+    size_t Got = 0;
+    IoStatus S = IoStatus::Ok;
+    {
+      FaultInjector &FI = FaultInjector::instance();
+      char *P = Out.data() + Before;
+      while (Got != Want) {
+        if (FI.armed()) {
+          if (FI.injectEintr())
+            continue;
+          if (FI.injectEagain()) {
+            pollBriefly(Fd, POLLIN);
+            continue;
+          }
+        }
+        size_t Slice = FI.armed() ? FI.clampRead(Want - Got) : Want - Got;
+        ssize_t N = ::read(Fd, P + Got, Slice);
+        if (N > 0) {
+          Got += static_cast<size_t>(N);
+          continue;
+        }
+        if (N == 0) {
+          S = IoStatus::Eof;
+          break;
+        }
+        if (errno == EINTR)
+          continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          pollBriefly(Fd, POLLIN);
+          continue;
+        }
+        S = IoStatus::Error;
+        break;
+      }
+    }
+    Out.resize(Before + Got);
+    if (S == IoStatus::Eof)
+      return IoStatus::Ok;
+    if (S == IoStatus::Error)
+      return IoStatus::Error;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // FaultInjector
 //===----------------------------------------------------------------------===//

@@ -54,6 +54,14 @@ IoStatus ioReadFull(int Fd, void *Buf, size_t Len);
 /// Error.
 IoStatus ioWriteFull(int Fd, const void *Buf, size_t Len);
 
+/// Appends everything from \p Fd to \p Out until clean EOF, with the same
+/// EINTR/EAGAIN/fault-injection discipline as ioReadFull. The HTTP client
+/// side of the admin plane reads `Connection: close` bodies this way.
+/// \returns Ok at EOF, Error on a non-retryable errno or once \p Out would
+/// exceed \p MaxBytes (guarding against an unbounded peer).
+IoStatus ioReadToEof(int Fd, std::string &Out,
+                     size_t MaxBytes = 64u << 20);
+
 /// Deterministic I/O fault injection. One process-wide instance; configure
 /// with a spec string of comma-separated `knob=value` entries:
 ///

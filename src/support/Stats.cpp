@@ -213,11 +213,14 @@ std::string MetricsSnapshot::prometheus() const {
   std::string Out;
   for (const auto &[Name, Value] : Counters) {
     std::string P = promName(Name);
+    Out += strFormat("# HELP %s gcomm counter %s\n", P.c_str(), Name.c_str());
     Out += strFormat("# TYPE %s counter\n%s %lld\n", P.c_str(), P.c_str(),
                      static_cast<long long>(Value));
   }
   for (const auto &[Name, H] : Histograms) {
     std::string P = promName(Name);
+    Out += strFormat("# HELP %s gcomm histogram %s\n", P.c_str(),
+                     Name.c_str());
     Out += strFormat("# TYPE %s summary\n", P.c_str());
     for (double Q : {0.5, 0.95, 0.99})
       Out += strFormat("%s{quantile=\"%g\"} %lld\n", P.c_str(), Q,

@@ -17,13 +17,16 @@
 
 #include "ServeTestUtil.h"
 #include "FuzzGen.h"
+#include "driver/CachedPipeline.h"
 #include "support/Io.h"
 #include "workloads/Synth.h"
 
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <set>
 #include <thread>
 
 #include <unistd.h>
@@ -507,6 +510,313 @@ TEST(FaultInjectorTest, SpecParsing) {
   EXPECT_FALSE(FI.configure("short-read"));
   EXPECT_FALSE(FI.armed());
   FI.reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Admin plane
+//===----------------------------------------------------------------------===//
+
+HttpRequest adminGet(const std::string &Target,
+                     const std::string &Method = "GET") {
+  HttpRequest R;
+  R.Method = Method;
+  R.Target = Target;
+  R.Version = "HTTP/1.1";
+  return R;
+}
+
+JsonValue parsedJson(const std::string &Text) {
+  JsonValue Doc;
+  std::string Err;
+  EXPECT_TRUE(JsonValue::parse(Text, Doc, Err)) << Err << "\n" << Text;
+  return Doc;
+}
+
+TEST(AdminPlaneTest, RoutingAndStatusCodes) {
+  TestServer TS{ServerConfig{}};
+  CompileServer &S = TS.server();
+  EXPECT_EQ(S.handleAdmin(adminGet("/healthz")).Status, 200);
+  EXPECT_EQ(S.handleAdmin(adminGet("/healthz")).Body, "ok\n");
+  EXPECT_EQ(S.handleAdmin(adminGet("/readyz")).Status, 200);
+  EXPECT_EQ(S.handleAdmin(adminGet("/metrics")).Status, 200);
+  EXPECT_EQ(S.handleAdmin(adminGet("/metrics")).ContentType,
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(S.handleAdmin(adminGet("/statusz")).ContentType,
+            "application/json");
+  EXPECT_EQ(S.handleAdmin(adminGet("/nope")).Status, 404);
+  // Query strings route like the bare path (Prometheus appends them).
+  EXPECT_EQ(S.handleAdmin(adminGet("/metrics?x=1")).Status, 200);
+
+  HttpResponse Post = S.handleAdmin(adminGet("/metrics", "POST"));
+  EXPECT_EQ(Post.Status, 405);
+  bool AllowGet = false;
+  for (const auto &[K, V] : Post.ExtraHeaders)
+    AllowGet |= K == "Allow" && V == "GET";
+  EXPECT_TRUE(AllowGet);
+}
+
+TEST(AdminPlaneTest, MetricsBodyMatchesSnapshotExposition) {
+  TestServer TS{ServerConfig{}};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  EXPECT_EQ(status(sendRecv(Fd, buildCompileRequestJson(
+                                    requestFor(smallSource(), 1)))),
+            "ok");
+  ::close(Fd);
+  // The admin endpoint renders through the same MetricsSnapshot as the
+  // socket `metrics` command; a quiescent server yields identical bytes
+  // modulo the uptime gauge, which legitimately ticks between renders.
+  auto Stable = [](const std::string &Text) {
+    std::string Out;
+    size_t Pos = 0;
+    while (Pos < Text.size()) {
+      size_t Nl = Text.find('\n', Pos);
+      std::string Line = Text.substr(Pos, Nl - Pos);
+      Pos = (Nl == std::string::npos) ? Text.size() : Nl + 1;
+      if (Line.find("uptime") == std::string::npos)
+        Out += Line + "\n";
+    }
+    return Out;
+  };
+  std::string FromAdmin = TS.server().handleAdmin(adminGet("/metrics")).Body;
+  std::string FromSnapshot = TS.server().metricsSnapshot().prometheus();
+  EXPECT_EQ(Stable(FromAdmin), Stable(FromSnapshot));
+  EXPECT_NE(FromAdmin.find("# TYPE gca_server_requests counter"),
+            std::string::npos);
+}
+
+TEST(AdminPlaneTest, TraceIdEchoedInResponse) {
+  TestServer TS{ServerConfig{}};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  CompileRequest Req = requestFor(smallSource(), 7);
+  Req.TraceId = "trace-abc-123";
+  JsonValue Resp = sendRecv(Fd, buildCompileRequestJson(Req));
+  EXPECT_EQ(status(Resp), "ok");
+  const JsonValue *Echo = Resp.get("trace_id");
+  ASSERT_NE(Echo, nullptr);
+  EXPECT_EQ(Echo->stringValue(), "trace-abc-123");
+  // No trace_id sent, none echoed: trace-unaware clients see the exact
+  // pre-admin-plane response shape.
+  JsonValue Plain = sendRecv(Fd, buildCompileRequestJson(
+                                     requestFor(smallSource(), 8)));
+  EXPECT_EQ(Plain.get("trace_id"), nullptr);
+  ::close(Fd);
+}
+
+TEST(AdminPlaneTest, StatuszShowsInflightAndClientAccounting) {
+  ServerConfig Config;
+  Config.Jobs = 1;
+  TestServer TS{Config};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  // Two slow compiles on one worker: once both are admitted, at least one
+  // is still in flight whenever the other executes, so the table below is
+  // observed deterministically.
+  for (int I = 0; I < 2; ++I) {
+    CompileRequest Req = requestFor(slowSource(), I);
+    Req.Client = "alice";
+    Req.TraceId = "t-" + std::to_string(I);
+    ASSERT_EQ(writeFrame(Fd, buildCompileRequestJson(Req)), FrameStatus::Ok);
+  }
+  bool SawInflight = false, SawExecuting = false;
+  for (int Spin = 0; Spin < 10000 && !(SawInflight && SawExecuting); ++Spin) {
+    JsonValue Doc = parsedJson(TS.server().statuszJson());
+    const JsonValue *Inflight = Doc.get("inflight");
+    ASSERT_NE(Inflight, nullptr);
+    ASSERT_TRUE(Inflight->isArray());
+    for (const JsonValue &Row : Inflight->array()) {
+      SawInflight = true;
+      const JsonValue *Client = Row.get("client");
+      ASSERT_NE(Client, nullptr);
+      EXPECT_EQ(Client->stringValue(), "alice");
+      EXPECT_NE(Row.get("rid"), nullptr);
+      EXPECT_GE(Row.get("age_ms")->numberValue(-1), 0.0);
+      SawExecuting |= Row.get("executing")->boolValue();
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_TRUE(SawInflight);
+  EXPECT_TRUE(SawExecuting);
+  for (int I = 0; I < 2; ++I)
+    EXPECT_EQ(status(recvJson(Fd)), "ok");
+  // Completed requests leave the in-flight table and land in the
+  // per-client accounting, keyed by the request's client field.
+  JsonValue Doc = parsedJson(TS.server().statuszJson());
+  EXPECT_TRUE(Doc.get("inflight")->array().empty());
+  const JsonValue *Alice = Doc.get("clients")->get("alice");
+  ASSERT_NE(Alice, nullptr);
+  EXPECT_EQ(Alice->get("requests")->intValue(-1), 2);
+  EXPECT_EQ(Alice->get("ok")->intValue(-1), 2);
+  EXPECT_GT(Alice->get("bytes_in")->intValue(-1), 0);
+  EXPECT_GT(Alice->get("bytes_out")->intValue(-1), 0);
+  EXPECT_EQ(Doc.get("version")->stringValue(), kGcaCacheVersion);
+  ::close(Fd);
+}
+
+TEST(AdminPlaneTest, ReadyzTurns503OnDrain) {
+  TestServer TS{ServerConfig{}};
+  EXPECT_EQ(TS.server().handleAdmin(adminGet("/readyz")).Status, 200);
+  TS.server().requestDrain();
+  HttpResponse R = TS.server().handleAdmin(adminGet("/readyz"));
+  EXPECT_EQ(R.Status, 503);
+  EXPECT_EQ(R.Body, "draining\n");
+  // Liveness is not readiness: a draining server is still alive.
+  EXPECT_EQ(TS.server().handleAdmin(adminGet("/healthz")).Status, 200);
+}
+
+TEST(AdminPlaneTest, TracezRecordsCompletedAndSlowRequests) {
+  ServerConfig Config;
+  Config.SlowMs = 1e-6; // Everything is slow: the pinned table must fill.
+  TestServer TS{Config};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  for (int I = 0; I < 3; ++I) {
+    CompileRequest Req = requestFor(smallSource(), I);
+    Req.TraceId = "tz-" + std::to_string(I);
+    EXPECT_EQ(status(sendRecv(Fd, buildCompileRequestJson(Req))), "ok");
+  }
+  ::close(Fd);
+  JsonValue Doc = parsedJson(TS.server().tracezJson());
+  const JsonValue *Recent = Doc.get("recent");
+  ASSERT_NE(Recent, nullptr);
+  ASSERT_EQ(Recent->array().size(), 3u);
+  std::set<int64_t> Rids;
+  for (const JsonValue &Rec : Recent->array()) {
+    Rids.insert(Rec.get("rid")->intValue(-1));
+    EXPECT_EQ(Rec.get("status")->stringValue(), "ok");
+    EXPECT_TRUE(Rec.get("slow")->boolValue());
+    EXPECT_GT(Rec.get("total_ms")->numberValue(-1), 0.0);
+    const JsonValue *Spans = Rec.get("spans");
+    ASSERT_NE(Spans, nullptr);
+    EXPECT_GE(Spans->array().size(), 3u); // queue-wait, compile, render.
+  }
+  EXPECT_EQ(Rids.size(), 3u) << "rids must be unique";
+  EXPECT_GE(Doc.get("slowest")->array().size(), 3u);
+  EXPECT_GE(TS.server().counter("server.slow-requests"), 3);
+}
+
+TEST(AdminPlaneTest, RequestLogOneWellFormedLinePerRequest) {
+  FILE *Log = std::tmpfile();
+  ASSERT_NE(Log, nullptr);
+  ServerConfig Config;
+  Config.LogStream = Log;
+  TestServer TS{Config};
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  CompileRequest Req = requestFor(smallSource(), 42);
+  Req.Client = "logger";
+  Req.TraceId = "log-1";
+  EXPECT_EQ(status(sendRecv(Fd, buildCompileRequestJson(Req))), "ok");
+  ::close(Fd);
+  // The log line is flushed before the response is written, so it is
+  // already on disk once the client has its answer.
+  std::rewind(Log);
+  char Buf[4096];
+  ASSERT_NE(std::fgets(Buf, sizeof(Buf), Log), nullptr);
+  JsonValue Line = parsedJson(Buf);
+  EXPECT_EQ(Line.get("id")->intValue(-1), 42);
+  EXPECT_EQ(Line.get("client")->stringValue(), "logger");
+  EXPECT_EQ(Line.get("trace_id")->stringValue(), "log-1");
+  EXPECT_EQ(Line.get("status")->stringValue(), "ok");
+  EXPECT_GE(Line.get("rid")->intValue(-1), 1);
+  EXPECT_GT(Line.get("total_ms")->numberValue(-1), 0.0);
+  EXPECT_GT(Line.get("bytes_in")->intValue(-1), 0);
+  EXPECT_GT(Line.get("bytes_out")->intValue(-1), 0);
+  ASSERT_NE(Line.get("ts_s"), nullptr);
+  EXPECT_EQ(std::fgets(Buf, sizeof(Buf), Log), nullptr) << "extra log lines";
+  std::fclose(Log);
+}
+
+TEST(AdminPlaneTest, CompilesBitwiseIdenticalUnderConcurrentScrapes) {
+  CompileRequest Probe = requestFor(smallSource(), 0);
+  std::string Expected = runCompileRequest(Probe, nullptr).Output;
+
+  ServerConfig Config;
+  Config.AdminSpec = "127.0.0.1:0";
+  TestServer TS{Config};
+  std::string Err;
+  ASSERT_TRUE(TS.server().startAdmin(Err)) << Err;
+  std::string Addr = TS.server().adminAddress();
+  ASSERT_FALSE(Addr.empty());
+
+  // Scrapers hammer every endpoint over real HTTP for the whole run; the
+  // compile responses must not change by a byte.
+  std::atomic<bool> Stop{false};
+  std::atomic<int> ScrapeFailures{0};
+  std::vector<std::thread> Scrapers;
+  for (const char *Path : {"/metrics", "/statusz", "/tracez", "/readyz"})
+    Scrapers.emplace_back([&, Path] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        int Status = 0;
+        std::string Body, E;
+        if (!httpGet(Addr, Path, Status, Body, E) ||
+            (Status != 200 && Status != 503))
+          ScrapeFailures++;
+      }
+    });
+
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  for (int I = 0; I < 8; ++I) {
+    CompileRequest Req = requestFor(smallSource(), I);
+    Req.Name = Probe.Name;
+    JsonValue Resp = sendRecv(Fd, buildCompileRequestJson(Req));
+    EXPECT_EQ(status(Resp), "ok") << "request " << I;
+    EXPECT_EQ(output(Resp), Expected) << "request " << I;
+  }
+  ::close(Fd);
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Scrapers)
+    T.join();
+  EXPECT_EQ(ScrapeFailures.load(), 0);
+}
+
+TEST(AdminPlaneTest, ScrapesSurviveInjectedShortWrites) {
+  ServerConfig Config;
+  Config.AdminSpec = "127.0.0.1:0";
+  TestServer TS{Config};
+  std::string Err;
+  ASSERT_TRUE(TS.server().startAdmin(Err)) << Err;
+
+  int Fd = TS.connect();
+  ASSERT_GE(Fd, 0);
+  EXPECT_EQ(status(sendRecv(Fd, buildCompileRequestJson(
+                                    requestFor(smallSource(), 1)))),
+            "ok");
+  ::close(Fd);
+
+  FaultScope Faults("short-write=40,short-read=40,eagain=25,seed=13");
+  std::string First;
+  for (int I = 0; I < 4; ++I) {
+    int Status = 0;
+    std::string Body, E;
+    ASSERT_TRUE(httpGet(TS.server().adminAddress(), "/metrics", Status,
+                        Body, E))
+        << "scrape " << I << ": " << E;
+    EXPECT_EQ(Status, 200);
+    // The server is quiescent, so successive scrapes differ only in the
+    // uptime gauge — strip it and require byte identity under faults.
+    std::string Stable;
+    size_t Pos = 0;
+    while (Pos < Body.size()) {
+      size_t Nl = Body.find('\n', Pos);
+      std::string Line = Body.substr(Pos, Nl - Pos);
+      Pos = (Nl == std::string::npos) ? Body.size() : Nl + 1;
+      // connections_active: the compile connection we just closed is
+      // reaped asynchronously, so it may still be counted on early scrapes.
+      if (Line.find("uptime") == std::string::npos &&
+          Line.find("io_faults") == std::string::npos &&
+          Line.find("admin_") == std::string::npos &&
+          Line.find("connections_active") == std::string::npos)
+        Stable += Line + "\n";
+    }
+    if (I == 0)
+      First = Stable;
+    else
+      EXPECT_EQ(Stable, First) << "scrape " << I;
+  }
+  EXPECT_GT(FaultInjector::instance().injected(), 0);
 }
 
 //===----------------------------------------------------------------------===//

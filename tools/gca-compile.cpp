@@ -105,6 +105,15 @@ struct ToolOptions {
   int QueueLimit = 64;
   /// Per-request deadline for --serve, seconds; 0 disables.
   double RequestTimeoutSec = 0;
+  /// --admin=HOST:PORT: HTTP admin plane for --serve (metrics, healthz,
+  /// readyz, statusz, tracez). Port 0 binds an ephemeral port, announced
+  /// on stderr.
+  std::string AdminSpec;
+  /// --log=FILE|-: structured request log (one JSON line per request).
+  std::string LogFile;
+  /// --log-slow=MS: flag requests slower than MS in the log and pin them
+  /// in /tracez.
+  double LogSlowMs = 0;
 };
 
 struct Input {
@@ -314,7 +323,55 @@ int serveMain(const ToolOptions &Opts, ResultCache *Cache) {
   SC.QueueLimit = Opts.QueueLimit;
   SC.RequestTimeoutSec = Opts.RequestTimeoutSec;
   SC.Cache = Cache;
+  SC.AdminSpec = Opts.AdminSpec;
+  SC.SlowMs = Opts.LogSlowMs;
+
+  // Request log: "-" is stdout, which in stdio mode carries response
+  // frames, so the combination is a usage error, not silent corruption.
+  FILE *LogStream = nullptr;
+  bool CloseLog = false;
+  if (!Opts.LogFile.empty()) {
+    if (Opts.LogFile == "-") {
+      if (Stdio) {
+        std::fprintf(stderr, "error: --log=- is incompatible with "
+                             "--serve=stdio (stdout carries frames)\n");
+        return 2;
+      }
+      LogStream = stdout;
+    } else {
+      LogStream = std::fopen(Opts.LogFile.c_str(), "a");
+      if (!LogStream) {
+        std::fprintf(stderr, "error: cannot open log file '%s': %s\n",
+                     Opts.LogFile.c_str(), std::strerror(errno));
+        return 1;
+      }
+      CloseLog = true;
+    }
+  }
+  SC.LogStream = LogStream;
+
+  // --trace from a serving process: spans are tagged with request ids, so
+  // the export attributes pipeline work to the requests that caused it.
+  if (!Opts.TraceFile.empty()) {
+    TraceCollector::instance().enable();
+    TraceCollector::instance().setThreadName("main");
+  }
+
   CompileServer Server(SC);
+
+  if (!Opts.AdminSpec.empty()) {
+    std::string Err;
+    if (!Server.startAdmin(Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      if (CloseLog)
+        std::fclose(LogStream);
+      return 1;
+    }
+    // The resolved address matters with --admin=HOST:0; scripts parse this
+    // line to find the ephemeral port.
+    std::fprintf(stderr, "gca-compile: admin on %s\n",
+                 Server.adminAddress().c_str());
+  }
 
   int SigPipe[2];
   if (::pipe(SigPipe) != 0) {
@@ -377,6 +434,19 @@ int serveMain(const ToolOptions &Opts, ResultCache *Cache) {
                    Opts.MetricsFile.c_str());
       Status = 1;
     }
+  }
+  // wait() joined every connection thread and drained the pool, so the
+  // collector is quiescent and the export is safe.
+  if (!Opts.TraceFile.empty() &&
+      !TraceCollector::instance().writeChromeJson(Opts.TraceFile)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n",
+                 Opts.TraceFile.c_str());
+    Status = 1;
+  }
+  if (CloseLog && std::fclose(LogStream) != 0) {
+    std::fprintf(stderr, "error: cannot write log file '%s'\n",
+                 Opts.LogFile.c_str());
+    Status = 1;
   }
   std::fprintf(stderr, "gca-compile: drained (%lld requests, %lld ok)\n",
                static_cast<long long>(Server.counter("server.requests")),
@@ -444,7 +514,24 @@ int usage(const char *Argv0) {
       "                         are answered 'overloaded' (default 64)\n"
       "  --request-timeout=S    answer 'timeout' when a request waits more "
       "than\n"
-      "                         S seconds before dispatch (default: off)\n",
+      "                         S seconds before dispatch (default: off)\n"
+      "  --admin=HOST:PORT      HTTP admin plane for --serve: GET /metrics\n"
+      "                         (Prometheus text), /healthz, /readyz (503 "
+      "while\n"
+      "                         draining), /statusz (queue, in-flight and "
+      "per-client\n"
+      "                         tables), /tracez (recent + slowest "
+      "requests).\n"
+      "                         PORT 0 binds an ephemeral port, announced "
+      "on\n"
+      "                         stderr as 'gca-compile: admin on "
+      "HOST:PORT'\n"
+      "  --log=FILE|-           one JSON line per request (ids, client, "
+      "status,\n"
+      "                         queue wait, wall, cache hit, bytes in/out)\n"
+      "  --log-slow=MS          flag requests slower than MS ms as "
+      "\"slow\":true\n"
+      "                         and pin them in /tracez\n",
       Argv0);
   return 2;
 }
@@ -587,6 +674,19 @@ int main(int argc, char **argv) {
                       nullptr);
       if (Opts.RequestTimeoutSec < 0)
         return usage(argv[0]);
+    } else if (Arg.rfind("--admin=", 0) == 0) {
+      Opts.AdminSpec = Arg.substr(std::strlen("--admin="));
+      if (Opts.AdminSpec.empty())
+        return usage(argv[0]);
+    } else if (Arg.rfind("--log=", 0) == 0) {
+      Opts.LogFile = Arg.substr(std::strlen("--log="));
+      if (Opts.LogFile.empty())
+        return usage(argv[0]);
+    } else if (Arg.rfind("--log-slow=", 0) == 0) {
+      Opts.LogSlowMs =
+          std::strtod(Arg.c_str() + std::strlen("--log-slow="), nullptr);
+      if (Opts.LogSlowMs <= 0)
+        return usage(argv[0]);
     } else if (Arg == "-p") {
       const char *Eq = I + 1 < argc ? std::strchr(argv[I + 1], '=') : nullptr;
       if (!Eq)
@@ -623,6 +723,13 @@ int main(int argc, char **argv) {
   if (!Opts.ServeSpec.empty() && !Inputs.empty()) {
     std::fprintf(stderr, "error: --serve takes no inputs (clients send "
                          "sources over the wire)\n");
+    return 2;
+  }
+  if (Opts.ServeSpec.empty() &&
+      (!Opts.AdminSpec.empty() || !Opts.LogFile.empty() ||
+       Opts.LogSlowMs > 0)) {
+    std::fprintf(stderr, "error: --admin, --log, and --log-slow require "
+                         "--serve\n");
     return 2;
   }
   if (Inputs.empty() && Opts.ServeSpec.empty())

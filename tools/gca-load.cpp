@@ -25,6 +25,7 @@
 
 #include "driver/Serve.h"
 #include "support/Frame.h"
+#include "support/Http.h"
 #include "support/Io.h"
 #include "support/Json.h"
 #include "support/Stats.h"
@@ -32,6 +33,7 @@
 #include "workloads/Synth.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -70,6 +72,11 @@ struct LoadOptions {
   bool AllowDraining = false;
   bool ScrapeMetrics = false; ///< {"cmd":"metrics"} after the run.
   bool Drain = false;         ///< {"cmd":"drain"} after the run.
+  /// --admin=HOST:PORT: scrape GET /metrics over HTTP after the run and
+  /// require it to agree with the socket metrics command counter-for-
+  /// counter (modulo families that legitimately move between the two
+  /// scrapes: uptime, fault-injection, the admin plane's own counters).
+  std::string AdminSpec;
 };
 
 struct LoadInput {
@@ -82,7 +89,8 @@ struct LoadInput {
 struct ClientResult {
   Histogram Latency;
   int64_t Ok = 0, CompileErrors = 0, Overloaded = 0, Timeouts = 0,
-          Draining = 0, Mismatches = 0, ProtocolErrors = 0;
+          Draining = 0, Mismatches = 0, ProtocolErrors = 0,
+          TraceIdErrors = 0;
 };
 
 int usage(const char *Argv0) {
@@ -105,7 +113,14 @@ int usage(const char *Argv0) {
       "  --allow-draining       'draining' responses are expected, not "
       "errors\n"
       "  --metrics              scrape {\"cmd\":\"metrics\"} after the run\n"
-      "  --drain                send {\"cmd\":\"drain\"} after the run\n",
+      "  --drain                send {\"cmd\":\"drain\"} after the run\n"
+      "  --admin=HOST:PORT      also scrape GET /metrics over HTTP and "
+      "require\n"
+      "                         it to agree with the socket metrics "
+      "command\n"
+      "                         on every counter (the socket path stays "
+      "the\n"
+      "                         fallback when --admin is not given)\n",
       Argv0);
   return 2;
 }
@@ -131,10 +146,16 @@ bool exchange(int Fd, const std::string &Payload, JsonValue &Resp,
   return true;
 }
 
-/// Builds the request payload for \p In with the sequence number as id.
-std::string wireWithId(const LoadInput &In, int64_t Id) {
+/// Builds the request payload for \p In with the sequence number as id,
+/// plus the sending client's identity and a per-request trace id (both
+/// omitted from the wire when empty).
+std::string wireWithId(const LoadInput &In, int64_t Id,
+                       const std::string &Client = std::string(),
+                       const std::string &TraceId = std::string()) {
   CompileRequest Req = In.Req;
   Req.Id = Id;
+  Req.Client = Client;
+  Req.TraceId = TraceId;
   return buildCompileRequestJson(Req);
 }
 
@@ -161,7 +182,12 @@ void clientLoop(const LoadOptions &Opts, const std::vector<LoadInput> &Inputs,
       std::this_thread::sleep_until(Target);
     }
     const LoadInput &In = Inputs[Seq % Inputs.size()];
-    std::string Payload = wireWithId(In, Seq);
+    // Every request carries the sending client's identity (the /statusz
+    // per-client accounting key) and a deterministic trace id the server
+    // must echo back verbatim.
+    const std::string Client = "client-" + std::to_string(ClientIdx);
+    const std::string TraceId = "load-" + std::to_string(Seq);
+    std::string Payload = wireWithId(In, Seq, Client, TraceId);
     auto Start = std::chrono::steady_clock::now();
     JsonValue Resp;
     if (!exchange(Fd, Payload, Resp, Err)) {
@@ -180,6 +206,13 @@ void clientLoop(const LoadOptions &Opts, const std::vector<LoadInput> &Inputs,
                    ClientIdx, Seq);
       Out.ProtocolErrors++;
       continue;
+    }
+    const JsonValue *Echo = Resp.get("trace_id");
+    if (!Echo || !Echo->isString() || Echo->stringValue() != TraceId) {
+      std::fprintf(stderr,
+                   "client %d: request %d: trace_id not echoed (sent '%s')\n",
+                   ClientIdx, Seq, TraceId.c_str());
+      Out.TraceIdErrors++;
     }
     const std::string &S = Status->stringValue();
     if (S == "ok" || S == "error") {
@@ -212,6 +245,99 @@ void clientLoop(const LoadOptions &Opts, const std::vector<LoadInput> &Inputs,
     }
   }
   ::close(Fd);
+}
+
+/// Prometheus exposition lines that legitimately differ between two
+/// scrapes taken moments apart: uptime advances, GCA_FAULT injects into the
+/// scrapes' own I/O, the HTTP scrape bumps the admin plane's counters, and
+/// connection teardown from the just-closed load clients races
+/// connections-active.
+bool lineIsVolatile(const std::string &Line) {
+  for (const char *Needle :
+       {"uptime", "io_faults", "gca_admin_", "connections_active"})
+    if (Line.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::vector<std::string> stableLines(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Text.size();
+    std::string Line = Text.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    if (!Line.empty() && !lineIsVolatile(Line))
+      Out.push_back(std::move(Line));
+  }
+  return Out;
+}
+
+/// The --admin cross-check: the HTTP /metrics exposition must agree with
+/// the socket {"cmd":"metrics","format":"prometheus"} response line for
+/// line once volatile families are dropped. The socket scrape goes first
+/// and its connection is held open across the HTTP scrape, so neither
+/// scrape can shift the other's connection counters. \returns false (with
+/// a diagnostic on stderr) on any disagreement or transport failure.
+bool crossCheckAdminMetrics(const LoadOptions &Opts) {
+  std::string Err;
+  int Fd = connectUnixSocket(Opts.SocketPath, Err);
+  if (Fd < 0) {
+    std::fprintf(stderr, "admin cross-check: %s\n", Err.c_str());
+    return false;
+  }
+  JsonValue Resp;
+  bool Okay = exchange(
+      Fd, "{\"cmd\":\"metrics\",\"format\":\"prometheus\"}", Resp, Err);
+  std::string SocketText;
+  if (Okay) {
+    const JsonValue *M = Resp.get("metrics");
+    if (M && M->isString())
+      SocketText = M->stringValue();
+    else {
+      std::fprintf(stderr,
+                   "admin cross-check: socket scrape returned no text\n");
+      Okay = false;
+    }
+  } else {
+    std::fprintf(stderr, "admin cross-check: %s\n", Err.c_str());
+  }
+
+  std::string HttpBody;
+  if (Okay) {
+    int HttpStatus = 0;
+    if (!httpGet(Opts.AdminSpec, "/metrics", HttpStatus, HttpBody, Err)) {
+      std::fprintf(stderr, "admin cross-check: GET /metrics: %s\n",
+                   Err.c_str());
+      Okay = false;
+    } else if (HttpStatus != 200) {
+      std::fprintf(stderr, "admin cross-check: GET /metrics returned %d\n",
+                   HttpStatus);
+      Okay = false;
+    }
+  }
+  ::close(Fd);
+  if (!Okay)
+    return false;
+
+  std::vector<std::string> SockLines = stableLines(SocketText);
+  std::vector<std::string> HttpLines = stableLines(HttpBody);
+  if (SockLines == HttpLines)
+    return true;
+  std::fprintf(stderr,
+               "admin cross-check: /metrics disagrees with the socket "
+               "scrape (%zu vs %zu stable lines)\n",
+               HttpLines.size(), SockLines.size());
+  size_t N = std::min(SockLines.size(), HttpLines.size());
+  for (size_t I = 0; I != N; ++I)
+    if (SockLines[I] != HttpLines[I]) {
+      std::fprintf(stderr, "  first difference:\n    socket: %s\n    http:   %s\n",
+                   SockLines[I].c_str(), HttpLines[I].c_str());
+      break;
+    }
+  return false;
 }
 
 /// Sends one control command on a fresh connection; returns the response
@@ -284,6 +410,10 @@ int main(int argc, char **argv) {
       Opts.ScrapeMetrics = true;
     } else if (Arg == "--drain") {
       Opts.Drain = true;
+    } else if (Arg.rfind("--admin=", 0) == 0) {
+      Opts.AdminSpec = Arg.substr(std::strlen("--admin="));
+      if (Opts.AdminSpec.empty())
+        return usage(argv[0]);
     } else if (!Arg.empty() && Arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -362,6 +492,7 @@ int main(int argc, char **argv) {
     Total.Draining += R.Draining;
     Total.Mismatches += R.Mismatches;
     Total.ProtocolErrors += R.ProtocolErrors;
+    Total.TraceIdErrors += R.TraceIdErrors;
   }
 
   int Status = 0;
@@ -382,6 +513,13 @@ int main(int argc, char **argv) {
   if (Total.Overloaded && !Opts.ExpectOverloaded)
     Violate("violation: %lld unexpected 'overloaded' responses\n",
             static_cast<long long>(Total.Overloaded));
+  if (Total.TraceIdErrors)
+    Violate("violation: %lld trace_id echo failures\n",
+            static_cast<long long>(Total.TraceIdErrors));
+
+  // The HTTP admin plane must expose the same truth the socket does.
+  if (!Opts.AdminSpec.empty() && !crossCheckAdminMetrics(Opts))
+    Violate("violation: admin /metrics cross-check failed\n");
 
   if (Opts.ExpectOverloaded) {
     if (Total.Overloaded == 0)
@@ -421,6 +559,7 @@ int main(int argc, char **argv) {
   W.key("draining").value(Total.Draining);
   W.key("mismatches").value(Total.Mismatches);
   W.key("protocol_errors").value(Total.ProtocolErrors);
+  W.key("trace_id_errors").value(Total.TraceIdErrors);
   W.key("checked").value(Opts.Check);
   W.key("wall_s").value(WallSec);
   W.key("throughput_rps")
