@@ -35,12 +35,16 @@ struct RunResult {
 };
 
 /// Compiles every routine of \p W at size \p N and simulates one execution
-/// on \p M with \p P processors; results accumulate over routines.
+/// on \p M with \p P processors; results accumulate over routines. With
+/// \p Lowered the simulator fires each group's selected collective round
+/// schedule (lower/Lower.h) instead of the monolithic pattern cost.
 inline RunResult runWorkload(const Workload &W, Strategy S, int64_t N,
-                             int64_t Steps, const MachineProfile &M, int P) {
+                             int64_t Steps, const MachineProfile &M, int P,
+                             bool Lowered = false) {
   CompileOptions Opts;
   Opts.Placement.Strat = S;
   Opts.Placement.NumProcs = P;
+  Opts.Machine = M.Name;
   Opts.Params["n"] = N;
   Opts.Params["nsteps"] = Steps;
   CompileResult R = compileSource(W.Source, Opts);
@@ -52,7 +56,8 @@ inline RunResult runWorkload(const Workload &W, Strategy S, int64_t N,
   RunResult Out;
   for (const RoutineResult &RR : R.Routines) {
     ExecProgram Prog = ExecProgram::build(*RR.Ctx, RR.Plan);
-    SimResult Sim = simulate(*RR.Ctx, RR.Plan, Prog, M, P);
+    SimResult Sim = simulate(*RR.Ctx, RR.Plan, Prog, M, P,
+                             Lowered ? &RR.Lowering : nullptr);
     Out.Sim.TotalTime += Sim.TotalTime;
     Out.Sim.CommTime += Sim.CommTime;
     Out.Sim.ComputeTime += Sim.ComputeTime;

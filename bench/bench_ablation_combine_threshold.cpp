@@ -42,7 +42,7 @@ static RunResult runWith(const Workload &W, int64_t N,
 }
 
 int main() {
-  MachineProfile M = MachineProfile::sp2();
+  MachineProfile M = *MachineProfile::byName("sp2");
   std::printf("E14 / Sections 3+4.7: combining-threshold sweep (SP2, "
               "P=25)\n\n");
   for (const Workload *W : {&shallowWorkload(), &hydfloWorkload()}) {

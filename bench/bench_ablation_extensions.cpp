@@ -45,7 +45,7 @@ static RunResult runOpts(const Workload &W, const CompileOptions &Base,
 }
 
 int main() {
-  MachineProfile M = MachineProfile::sp2();
+  MachineProfile M = *MachineProfile::byName("sp2");
   std::printf("E15 / Section 6 extensions (SP2, P=25, n=64)\n\n");
 
   std::printf("Deferred reduction placement (Section 6.2):\n");

@@ -23,7 +23,7 @@ int main() {
               "optimal placement\n\n");
   std::printf("%-9s | %13s | %13s | %12s\n", "workload", "greedy sites",
               "optimal sites", "comm ratio");
-  MachineProfile M = MachineProfile::sp2();
+  MachineProfile M = *MachineProfile::byName("sp2");
   for (const Workload *W : allWorkloads()) {
     RunResult G = runWorkload(*W, Strategy::Global, 16, 2, M, 25);
     RunResult O = runWorkload(*W, Strategy::Optimal, 16, 2, M, 25);

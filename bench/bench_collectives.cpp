@@ -1,0 +1,185 @@
+//===- bench/bench_collectives.cpp - collective lowering benchmark --------===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the collective lowering pass buys: for each Figure 10
+// workload on the SP2 the simulated per-execution communication time under
+// the monolithic pattern cost model versus the lowered round schedules, plus
+// an algorithm-win histogram from the selector swept over operations, sizes,
+// and rank counts on two profiles. Results land in BENCH_compile.json as
+// collective.* counters (merged into the file bench_compile_time writes;
+// created if absent), tracked warn-only by scripts/bench_gate.py.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "runtime/Collective.h"
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace gca;
+using namespace gca::bench;
+
+namespace {
+
+/// Re-serializes a parsed JSON subtree (the histograms section of an
+/// existing BENCH_compile.json survives the merge byte-compatibly).
+void dumpValue(JsonWriter &W, const JsonValue &V) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    W.null();
+    break;
+  case JsonValue::Kind::Bool:
+    W.value(V.boolValue());
+    break;
+  case JsonValue::Kind::Number:
+    if (V.isIntegral())
+      W.value(V.intValue());
+    else
+      W.value(V.numberValue());
+    break;
+  case JsonValue::Kind::String:
+    W.value(V.stringValue());
+    break;
+  case JsonValue::Kind::Array:
+    W.beginArray();
+    for (const JsonValue &E : V.array())
+      dumpValue(W, E);
+    W.endArray();
+    break;
+  case JsonValue::Kind::Object:
+    W.beginObject();
+    for (const auto &[K, E] : V.members()) {
+      W.key(K);
+      dumpValue(W, E);
+    }
+    W.endObject();
+    break;
+  }
+}
+
+/// Merges \p Fresh collective.* counters into \p Path: existing
+/// non-collective counters and all histograms are preserved; stale
+/// collective.* counters are replaced wholesale.
+void mergeResultsFile(const char *Path,
+                      const std::map<std::string, int64_t> &Fresh) {
+  std::map<std::string, JsonValue> Counters;
+  const JsonValue *OldHists = nullptr;
+  JsonValue Doc;
+  std::ifstream In(Path);
+  if (In) {
+    std::stringstream SS;
+    SS << In.rdbuf();
+    std::string Err;
+    if (JsonValue::parse(SS.str(), Doc, Err)) {
+      if (const JsonValue *C = Doc.get("counters"))
+        for (const auto &[K, V] : C->members())
+          if (K.rfind("collective.", 0) != 0)
+            Counters.emplace(K, V);
+      OldHists = Doc.get("histograms");
+    } else {
+      std::fprintf(stderr, "warning: ignoring unparsable '%s': %s\n", Path,
+                   Err.c_str());
+    }
+  }
+  for (const auto &[K, V] : Fresh)
+    Counters[K] = JsonValue::makeInt(V);
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("counters").beginObject();
+  for (const auto &[K, V] : Counters) {
+    W.key(K);
+    dumpValue(W, V);
+  }
+  W.endObject();
+  W.key("histograms");
+  if (OldHists)
+    dumpValue(W, *OldHists);
+  else
+    W.beginObject().endObject();
+  W.endObject();
+
+  if (FILE *F = std::fopen(Path, "w")) {
+    std::fputs(W.str().c_str(), F);
+    std::fputs("\n", F);
+    std::fclose(F);
+    std::printf("wrote %s\n", Path);
+  } else {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path);
+  }
+}
+
+int64_t toNs(double Sec) { return static_cast<int64_t>(std::llround(Sec * 1e9)); }
+
+} // namespace
+
+int main() {
+  std::map<std::string, int64_t> C;
+  MachineProfile Sp2 = *MachineProfile::byName("sp2");
+
+  // Monolithic vs lowered simulated communication time, Figure 10 workloads
+  // on the SP2 at a representative problem size from each panel's sweep
+  // (trimesh, a NOW panel in the paper, is re-run on the SP2 so all four
+  // comparisons share one machine).
+  struct Point {
+    const char *Key;
+    const Workload &W;
+    int64_t N, Steps;
+  };
+  const Point Points[] = {
+      {"shallow", shallowWorkload(), 200, 50},
+      {"gravity", gravityWorkload(), 200, 50},
+      {"hydflo", hydfloWorkload(), 48, 5},
+      {"trimesh", trimeshWorkload(), 256, 5},
+  };
+  int64_t Wins = 0;
+  std::printf("%-10s %16s %16s %8s\n", "workload", "mono-comm(us)",
+              "lowered-comm(us)", "win");
+  for (const Point &P : Points) {
+    RunResult Mono =
+        runWorkload(P.W, Strategy::Global, P.N, P.Steps, Sp2, 25, false);
+    RunResult Low =
+        runWorkload(P.W, Strategy::Global, P.N, P.Steps, Sp2, 25, true);
+    bool Win = Low.Sim.CommTime < Mono.Sim.CommTime;
+    Wins += Win;
+    C[std::string("collective.") + P.Key + ".mono_comm_ns"] =
+        toNs(Mono.Sim.CommTime);
+    C[std::string("collective.") + P.Key + ".lowered_comm_ns"] =
+        toNs(Low.Sim.CommTime);
+    C[std::string("collective.") + P.Key + ".win"] = Win;
+    std::printf("%-10s %16.3f %16.3f %8s\n", P.Key, Mono.Sim.CommTime * 1e6,
+                Low.Sim.CommTime * 1e6, Win ? "yes" : "no");
+  }
+  C["collective.sp2_wins"] = Wins;
+
+  // Algorithm-win histogram: the selector swept over op x size x rank count
+  // on the SP2 and GPU profiles; each cell's winner increments its counter.
+  MachineProfile Gpu = *MachineProfile::byName("gpu");
+  for (const MachineProfile *M : {&Sp2, &Gpu})
+    for (CollOp Op : {CollOp::Allreduce, CollOp::Bcast, CollOp::Alltoallv})
+      for (int P : {16, 25, 60})
+        for (double Bytes : {64.0, 4096.0, 262144.0, 1048576.0})
+          if (auto Sel = selectAlgorithm(Op, P, Bytes, *M))
+            ++C[std::string("collective.algo-wins.") +
+                collAlgoName(Sel->Algo)];
+
+  std::printf("\nalgorithm wins (op x size x procs x {sp2,gpu}):\n");
+  for (const auto &[K, V] : C)
+    if (K.rfind("collective.algo-wins.", 0) == 0)
+      std::printf("  %-28s %lld\n",
+                  K.c_str() + std::strlen("collective.algo-wins."),
+                  static_cast<long long>(V));
+
+  mergeResultsFile("BENCH_compile.json", C);
+  return 0;
+}

@@ -29,8 +29,8 @@ int main(int argc, char **argv) {
   auto Want = [&](const char *P) {
     return std::strcmp(Panel, "all") == 0 || std::strcmp(Panel, P) == 0;
   };
-  MachineProfile Sp2 = MachineProfile::sp2();
-  MachineProfile Now = MachineProfile::now();
+  MachineProfile Sp2 = *MachineProfile::byName("sp2");
+  MachineProfile Now = *MachineProfile::byName("now");
 
   if (Want("a"))
     printPanel("E3 / Figure 10(a): shallow on the SP2", shallowWorkload(),

@@ -44,7 +44,7 @@ static void printCurves(const MachineProfile &M) {
 
 int main() {
   std::printf("E1: Figure 5 network/bcopy profiling curves\n\n");
-  printCurves(MachineProfile::sp2());
-  printCurves(MachineProfile::now());
+  printCurves(*MachineProfile::byName("sp2"));
+  printCurves(*MachineProfile::byName("now"));
   return 0;
 }

@@ -22,7 +22,8 @@ import argparse
 import json
 import sys
 
-EXPECTED_PASSES = {"parse", "scalarize", "fuse", "build-context", "placement"}
+EXPECTED_PASSES = {"parse", "scalarize", "fuse", "build-context", "placement",
+                   "lower"}
 
 
 def fail(msg):
@@ -135,6 +136,24 @@ def main():
     decisions = [e for e in events if e.get("cat") == "decision"]
     if args.expect_decisions and not decisions:
         fail("no placement decision events")
+
+    # Collective lowering invariant: every placed group carries exactly one
+    # lowered-as decision (and no lowered-as names an unplaced group).  Keyed
+    # by (routine, group id) -- both event kinds tag the group as "other".
+    def group_key(e):
+        a = e.get("args", {})
+        return (a.get("routine"), a.get("other"))
+
+    placed = {group_key(e) for e in decisions if e["name"] == "group-placed"}
+    lowered = [group_key(e) for e in decisions if e["name"] == "lowered-as"]
+    for key in placed:
+        n = lowered.count(key)
+        if n != 1:
+            fail("group %s of routine '%s' placed but lowered %d times "
+                 "(expected exactly 1)" % (key[1], key[0], n))
+    orphans = sorted(set(lowered) - placed, key=str)
+    if orphans:
+        fail("lowered-as events for groups never placed: %s" % orphans)
 
     print("validate_trace: OK: %d events, %d lanes (%d workers), "
           "%d decision events"

@@ -460,6 +460,7 @@ void checkDecisions(const CommPlan &Plan, VerifyReport &Report) {
   int NumEntries = static_cast<int>(Plan.Entries.size());
   int NumGroups = static_cast<int>(Plan.Groups.size());
   std::vector<char> GroupPlacedSeen(NumGroups, 0);
+  std::vector<int> LoweredSeen(static_cast<size_t>(NumGroups), 0);
   std::vector<char> EliminatedSeen(NumEntries, 0);
 
   auto bad = [&](const DecisionEvent &Ev, std::string Msg) {
@@ -503,6 +504,12 @@ void checkDecisions(const CommPlan &Plan, VerifyReport &Report) {
         GroupPlacedSeen[Ev.OtherId] = 1;
       }
       break;
+    case DecisionKind::LoweredAs:
+      if (Ev.OtherId < 0 || Ev.OtherId >= NumGroups)
+        bad(Ev, strFormat("group %d out of range", Ev.OtherId));
+      else if (++LoweredSeen[static_cast<size_t>(Ev.OtherId)] > 1)
+        bad(Ev, strFormat("group %d lowered more than once", Ev.OtherId));
+      break;
     case DecisionKind::SubsetSlotCleared:
     case DecisionKind::CombinedIntoGroup:
       // Slot/group ids in these events reference pre-merge state; only the
@@ -510,6 +517,20 @@ void checkDecisions(const CommPlan &Plan, VerifyReport &Report) {
       break;
     }
   }
+  // Lowering is all-or-nothing: once any group carries a lowered-as event,
+  // every group must carry exactly one.
+  bool AnyLowered = false;
+  for (int N : LoweredSeen)
+    AnyLowered = AnyLowered || N > 0;
+  if (AnyLowered)
+    for (int GId = 0; GId != NumGroups; ++GId)
+      if (!LoweredSeen[static_cast<size_t>(GId)]) {
+        ++Report.Checks;
+        violate(Report, VerifyRule::DecisionLog, -1, GId, SourceLoc(),
+                strFormat("group %d has no LoweredAs event in the decision "
+                          "log",
+                          GId));
+      }
   for (int GId = 0; GId != NumGroups; ++GId) {
     ++Report.Checks;
     if (!GroupPlacedSeen[GId])

@@ -155,6 +155,8 @@ enum class DecisionKind : uint8_t {
   PartiallyReduced,      ///< Remainder-only send ([14]; PartialRedundancy).
   CombinedIntoGroup,     ///< Entry admitted to a group (4.7, Fig. 9(g)).
   GroupPlaced,           ///< Group's final latest-common position (4.7).
+  LoweredAs,             ///< Group lowered to a collective algorithm
+                         ///< (lower/Lower.h): "<op>/<algo> ...".
 };
 
 const char *decisionKindName(DecisionKind K);

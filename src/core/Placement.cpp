@@ -55,6 +55,8 @@ const char *gca::decisionKindName(DecisionKind K) {
     return "combined-into-group";
   case DecisionKind::GroupPlaced:
     return "group-placed";
+  case DecisionKind::LoweredAs:
+    return "lowered-as";
   }
   return "?";
 }
@@ -76,7 +78,8 @@ std::string CommPlan::decisionsStr() const {
       Out += strFormat(
           " %s=%d",
           E.Kind == DecisionKind::CombinedIntoGroup ||
-                  E.Kind == DecisionKind::GroupPlaced
+                  E.Kind == DecisionKind::GroupPlaced ||
+                  E.Kind == DecisionKind::LoweredAs
               ? "group"
               : "subsumer",
           E.OtherId);

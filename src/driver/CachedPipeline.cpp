@@ -12,7 +12,7 @@
 
 using namespace gca;
 
-const char *const gca::kGcaCacheVersion = "gcomm-cache-2";
+const char *const gca::kGcaCacheVersion = "gcomm-cache-3";
 
 std::string gca::optionsFingerprint(const CompileOptions &Opts) {
   const PlacementOptions &P = Opts.Placement;
@@ -39,6 +39,7 @@ std::string gca::optionsFingerprint(const CompileOptions &Opts) {
   S += strFormat("audit=%d\n", Opts.Audit ? 1 : 0);
   S += strFormat("verify=%d\n", static_cast<int>(Opts.Verify));
   S += strFormat("lint=%d\n", Opts.Lint ? 1 : 0);
+  S += "machine=" + Opts.Machine + "\n";
   S += "dump-after=" + Opts.DumpAfter + "\n";
   // ParamMap is an ordered map, so overrides render sorted by name no
   // matter the insertion order; the prefix keeps "param:n" distinct from a

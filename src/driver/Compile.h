@@ -19,6 +19,7 @@
 #include "analysis/PlanAudit.h"
 #include "core/Placement.h"
 #include "frontend/Parser.h"
+#include "lower/Lower.h"
 
 #include <memory>
 #include <string>
@@ -67,9 +68,13 @@ struct CompileOptions {
   /// Run the communication lint rules (analysis/CommLint.h); warnings land
   /// in CompileResult::Diagnostics.
   bool Lint = false;
+  /// Machine profile the collective lowering pass selects algorithms for
+  /// (MachineProfile::byName registry name). An unknown name is a
+  /// compilation error listing the registry.
+  std::string Machine = "sp2";
   /// Name of a pipeline pass ("parse", "scalarize", "fuse", "build-context",
-  /// "placement", "audit", "verify", "lint", or "all") after which the
-  /// session records
+  /// "placement", "lower", "audit", "verify", "lint", or "all") after which
+  /// the session records
   /// a dump of the program and any plans (Session::Dumps). Empty = never.
   std::string DumpAfter;
 };
@@ -79,6 +84,9 @@ struct RoutineResult {
   Routine *R = nullptr;
   std::unique_ptr<AnalysisContext> Ctx;
   CommPlan Plan;
+  /// The collective lowering of Plan under CompileOptions::Machine
+  /// (lower/Lower.h), populated by the "lower" pass.
+  PlanLowering Lowering;
   /// Populated when CompileOptions::Audit is set.
   AuditReport Audit;
   /// Populated when CompileOptions::Verify is not Off.

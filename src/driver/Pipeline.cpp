@@ -89,11 +89,14 @@ static bool passBuildContext(Session &S) {
 
 /// Forwards a routine's placement decision log to the trace as instant
 /// events (category "decision"), one per DecisionEvent, in algorithm order.
-static void traceDecisions(const std::string &Routine, const CommPlan &Plan) {
+/// \p From skips events already traced by an earlier pass.
+static void traceDecisions(const std::string &Routine, const CommPlan &Plan,
+                           size_t From = 0) {
   TraceCollector &C = TraceCollector::instance();
   if (!C.enabled())
     return;
-  for (const DecisionEvent &E : Plan.Decisions) {
+  for (size_t I = From; I != Plan.Decisions.size(); ++I) {
+    const DecisionEvent &E = Plan.Decisions[I];
     std::vector<TraceArg> Args;
     Args.emplace_back("routine", Routine);
     if (E.EntryId >= 0)
@@ -237,6 +240,36 @@ static bool passPlacement(Session &S) {
   return true;
 }
 
+static bool passLower(Session &S) {
+  std::optional<MachineProfile> M = MachineProfile::byName(S.Opts.Machine);
+  if (!M) {
+    std::string Names;
+    for (const std::string &N : MachineProfile::listProfiles())
+      Names += (Names.empty() ? "" : ", ") + N;
+    S.Result.Errors = strFormat("unknown machine profile '%s' (known: %s)\n",
+                                S.Opts.Machine.c_str(), Names.c_str());
+    return false;
+  }
+  for (RoutineResult &RR : S.Result.Routines) {
+    ScopedTimer T(S.Times, RR.R->name());
+    if (S.routineCacheHit(RR.R->name())) {
+      S.replayRoutinePass("lower", RR.R->name());
+      continue;
+    }
+    size_t DiagsBefore = S.Diags.diags().size();
+    StatsRegistry::Snapshot StatsBefore;
+    if (S.routineCacheActive())
+      StatsBefore = S.Stats.snapshot();
+    size_t DecisionsBefore = RR.Plan.Decisions.size();
+    RR.Lowering = lowerPlan(*RR.Ctx, RR.Plan, *M,
+                            S.Opts.Placement.NumProcs, &S.Stats);
+    traceDecisions(RR.R->name(), RR.Plan, DecisionsBefore);
+    S.recordRoutinePass("lower", RR, DiagsBefore, StatsBefore);
+  }
+  verifyAfterPass(S, "lower");
+  return true;
+}
+
 static bool passAudit(Session &S) {
   if (!S.Opts.Audit)
     return true;
@@ -312,6 +345,7 @@ const Pipeline &Pipeline::standard() {
         .add("fuse", passFuse)
         .add("build-context", passBuildContext)
         .add("placement", passPlacement)
+        .add("lower", passLower)
         .add("audit", passAudit)
         .add("verify", passVerify)
         .add("lint", passLint);

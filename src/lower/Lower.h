@@ -1,0 +1,120 @@
+//===- lower/Lower.h - Collective lowering of placed groups -----*- C++ -*-===//
+//
+// Part of the gcomm project: a reproduction of "Global Communication
+// Analysis and Optimization" (Chakrabarti, Gupta, Choi; PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collective lowering layer: after placement has fixed every combined
+/// message group's slot, this pass classifies each group's mapping pattern
+/// into a collective operation (shift -> neighbor exchange, reduction ->
+/// allreduce, broadcast/replication -> bcast, general -> alltoallv), fuses
+/// same-slot shift groups into multi-direction exchange phases where the
+/// corner-forwarding order allows it, and selects the cheapest algorithm
+/// from the collective library (runtime/Collective.h) under the active
+/// machine profile. The choice is recorded in the plan's decision log as a
+/// `lowered-as` event per group, and the simulator executes the selected
+/// round schedules instead of the monolithic pattern costs.
+///
+/// Fusion safety: within one slot the schedule builder fires shift groups
+/// in template-dimension order so decomposed diagonal shifts forward their
+/// corners through earlier phases (Section 2.2). Groups whose entries share
+/// a diagonal id therefore must not collapse into one round; the fuser
+/// splits the slot's ordered group list into maximal runs free of shared
+/// diagonal ids and fuses only within a run.
+///
+/// Selection is evaluated at the nominal environment (all loop variables
+/// zero, the simulator's entry state), so the choice is a pure function of
+/// (plan, machine, procs): deterministic, cache-replayable, and identical
+/// across worker counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCA_LOWER_LOWER_H
+#define GCA_LOWER_LOWER_H
+
+#include "core/CommEntry.h"
+#include "core/Context.h"
+#include "runtime/Collective.h"
+#include "runtime/Machine.h"
+
+#include <string>
+#include <vector>
+
+namespace gca {
+
+class StatsRegistry;
+
+/// How one placed group executes: its collective operation, the algorithm
+/// the selector chose, and the fused-phase structure it belongs to.
+struct GroupLowering {
+  int GroupId = -1;
+  CollOp Op = CollOp::NeighborExchange;
+  CollAlgo Algo = CollAlgo::Direct;
+  /// Ranks participating (the reduced-dims grid product for reductions,
+  /// all processors otherwise).
+  int Procs = 1;
+  /// Nominal payload bytes (all loop variables zero) the selection priced.
+  double Bytes = 0;
+  /// Rounds of the selected schedule at the nominal size.
+  int Rounds = 0;
+  /// Index into PlanLowering::Phases for fused exchanges; -1 standalone.
+  int Phase = -1;
+  /// True for the group that carries its phase's cost in the simulator
+  /// (the first group of the phase in firing order).
+  bool PhaseLead = false;
+  /// Selected-schedule time at the nominal size (seconds); for fused
+  /// members, the whole phase's time on the lead and 0 on the rest.
+  double NominalTime = 0;
+};
+
+/// One fused exchange phase: same-slot shift groups posted as a single
+/// multi-direction round schedule.
+struct LoweringPhase {
+  Slot Placement;
+  std::vector<int> GroupIds; ///< In firing (template-dimension) order.
+  CollAlgo Algo = CollAlgo::Direct;
+};
+
+/// The lowering of one plan under one machine profile.
+struct PlanLowering {
+  std::string MachineName;
+  int NumProcs = 1;
+  /// Indexed by group id (dense, same order as CommPlan::Groups).
+  std::vector<GroupLowering> Groups;
+  std::vector<LoweringPhase> Phases;
+
+  const GroupLowering *group(int Id) const {
+    if (Id < 0 || Id >= static_cast<int>(Groups.size()))
+      return nullptr;
+    return &Groups[static_cast<size_t>(Id)];
+  }
+
+  /// "lowered-as" annotation for listings: "<op>/<algo>" plus the fused
+  /// phase tag when the group is part of one.
+  std::string annotation(int Id) const;
+};
+
+/// Classifies \p G's mapping pattern into the collective operation the
+/// lowering emits for it.
+CollOp classifyGroup(const CommGroup &G);
+
+/// Lowers every group of \p Plan for machine \p M: classifies, fuses
+/// same-slot shift runs, selects algorithms, appends one
+/// DecisionKind::LoweredAs event per group to \p Plan's decision log, and
+/// bumps the lower.collective.* counters on \p Stats (when non-null).
+PlanLowering lowerPlan(const AnalysisContext &Ctx, CommPlan &Plan,
+                       const MachineProfile &M, int NumProcs,
+                       StatsRegistry *Stats = nullptr);
+
+/// Rebuilds the selected schedule of \p G's lowering at \p Bytes payload
+/// (concrete sizes differ from the nominal selection point; the algorithm
+/// choice is frozen, the schedule re-costs at the real size). For fused
+/// phase leads pass the per-direction byte vector via \p DirBytes instead.
+CollSchedule loweredSchedule(const GroupLowering &G, const MachineProfile &M,
+                             double Bytes);
+
+} // namespace gca
+
+#endif // GCA_LOWER_LOWER_H

@@ -8,6 +8,7 @@
 #include "lower/Schedule.h"
 
 #include "ir/Printer.h"
+#include "lower/Lower.h"
 #include "support/StrUtil.h"
 
 #include <algorithm>
@@ -137,7 +138,7 @@ private:
 
 void renderActions(const AnalysisContext &Ctx, const CommPlan &Plan,
                    const std::vector<ExecAction> &Actions, int Indent,
-                   std::string &Out) {
+                   std::string &Out, const PlanLowering *L = nullptr) {
   const Routine &R = Ctx.R;
   std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
   const std::vector<std::string> &Names = R.loopVarNames();
@@ -151,7 +152,13 @@ void renderActions(const AnalysisContext &Ctx, const CommPlan &Plan,
           Out += ", ";
         Out += G.Data[I].str(&Names, R.array(G.Data[I].ArrayId).Name);
       }
-      Out += "}\n";
+      Out += "}";
+      if (L) {
+        std::string Ann = L->annotation(A.GroupId);
+        if (!Ann.empty())
+          Out += " -> " + Ann;
+      }
+      Out += "\n";
       break;
     }
     case ExecAction::Kind::Stmt:
@@ -163,16 +170,16 @@ void renderActions(const AnalysisContext &Ctx, const CommPlan &Plan,
       if (A.L->step() != 1)
         Out += strFormat(", %lld", static_cast<long long>(A.L->step()));
       Out += "\n";
-      renderActions(Ctx, Plan, A.Body, Indent + 1, Out);
+      renderActions(Ctx, Plan, A.Body, Indent + 1, Out, L);
       Out += Pad + "end do\n";
       break;
     }
     case ExecAction::Kind::If:
       Out += Pad + "if (" + A.I->cond() + ") then\n";
-      renderActions(Ctx, Plan, A.Body, Indent + 1, Out);
+      renderActions(Ctx, Plan, A.Body, Indent + 1, Out, L);
       if (!A.Else.empty()) {
         Out += Pad + "else\n";
-        renderActions(Ctx, Plan, A.Else, Indent + 1, Out);
+        renderActions(Ctx, Plan, A.Else, Indent + 1, Out, L);
       }
       Out += Pad + "end if\n";
       break;
@@ -193,5 +200,13 @@ std::string ExecProgram::listing(const AnalysisContext &Ctx,
                                  const CommPlan &Plan) const {
   std::string Out;
   renderActions(Ctx, Plan, Actions, 0, Out);
+  return Out;
+}
+
+std::string ExecProgram::listing(const AnalysisContext &Ctx,
+                                 const CommPlan &Plan,
+                                 const PlanLowering *L) const {
+  std::string Out;
+  renderActions(Ctx, Plan, Actions, 0, Out, L);
   return Out;
 }

@@ -30,6 +30,8 @@
 
 namespace gca {
 
+struct PlanLowering;
+
 struct ExecAction {
   enum class Kind : uint8_t { Comm, Stmt, Loop, If } K = Kind::Stmt;
   int GroupId = -1;                 ///< Comm.
@@ -49,6 +51,12 @@ public:
 
   /// SPMD-style listing with COMM annotations, for debugging and docs.
   std::string listing(const AnalysisContext &Ctx, const CommPlan &Plan) const;
+
+  /// Listing with collective annotations: every COMM line carries the
+  /// lowering's "-> <op>/<algo>" choice (lower/Lower.h). Null \p L renders
+  /// the plain listing.
+  std::string listing(const AnalysisContext &Ctx, const CommPlan &Plan,
+                      const PlanLowering *L) const;
 
 private:
   std::vector<ExecAction> Actions;

@@ -46,6 +46,62 @@ static double shiftSlabBytes(const ArrayDecl &A, const ProcGrid &G,
   return Bytes;
 }
 
+/// Total section volume of the group's data descriptors under \p Env.
+static double sectionVolumeBytes(const AnalysisContext &Ctx,
+                                 const CommGroup &G,
+                                 const std::vector<int64_t> &Env) {
+  double Bytes = 0;
+  for (const Asd &A : G.Data) {
+    const ArrayDecl &Decl = Ctx.R.array(A.ArrayId);
+    std::vector<DimRange> Sec = A.D.concretize(Env);
+    double Elems = 1;
+    for (const DimRange &R : Sec)
+      Elems *= static_cast<double>(std::max<int64_t>(0, R.count()));
+    Bytes += Elems * static_cast<double>(Decl.ElemBytes);
+  }
+  return Bytes;
+}
+
+double gca::groupPayloadBytes(const AnalysisContext &Ctx, const CommGroup &G,
+                              int NumProcs,
+                              const std::vector<int64_t> &Env) {
+  switch (G.Kind) {
+  case CommKind::Local:
+    return 0;
+  case CommKind::Shift: {
+    double Bytes = 0;
+    for (const Asd &A : G.Data) {
+      const ArrayDecl &Decl = Ctx.R.array(A.ArrayId);
+      ProcGrid Grid = ProcGrid::forArray(Decl, NumProcs);
+      Bytes += shiftSlabBytes(Decl, Grid, A.D.concretize(Env), A.M);
+    }
+    return Bytes;
+  }
+  case CommKind::Reduce: {
+    // One 8-byte value per combined member (Section 6.2).
+    double Values = static_cast<double>(G.Members.size() + G.Attached.size());
+    return 8.0 * std::max(1.0, Values);
+  }
+  case CommKind::Bcast:
+  case CommKind::General:
+    return sectionVolumeBytes(Ctx, G, Env);
+  }
+  return 0;
+}
+
+int gca::groupCollProcs(const AnalysisContext &Ctx, const CommGroup &G,
+                        int NumProcs) {
+  if (G.Kind != CommKind::Reduce || G.Data.empty())
+    return std::max(1, NumProcs);
+  const ArrayDecl &Decl = Ctx.R.array(G.Data[0].ArrayId);
+  ProcGrid Grid = ProcGrid::forArray(Decl, NumProcs);
+  int ReduceProcs = 1;
+  for (unsigned K = 0; K != G.M.ReduceDims.size() && K < Grid.rank(); ++K)
+    if (G.M.ReduceDims[K])
+      ReduceProcs *= Grid.dim(K).Procs;
+  return std::max(1, ReduceProcs);
+}
+
 CommCost gca::groupCost(const AnalysisContext &Ctx, const CommGroup &G,
                         const MachineProfile &M, int NumProcs,
                         const std::vector<int64_t> &Env) {
@@ -57,12 +113,7 @@ CommCost gca::groupCost(const AnalysisContext &Ctx, const CommGroup &G,
   case CommKind::Shift: {
     // One neighbour exchange: every processor sends one message and
     // receives one; sections are strided, so both ends pay pack costs.
-    double Bytes = 0;
-    for (const Asd &A : G.Data) {
-      const ArrayDecl &Decl = Ctx.R.array(A.ArrayId);
-      ProcGrid Grid = ProcGrid::forArray(Decl, NumProcs);
-      Bytes += shiftSlabBytes(Decl, Grid, A.D.concretize(Env), A.M);
-    }
+    double Bytes = groupPayloadBytes(Ctx, G, NumProcs, Env);
     C.Bytes = Bytes;
     C.Messages = 1;
     C.Time = M.messageTime(Bytes) + 2 * M.packTime(Bytes);
@@ -73,18 +124,8 @@ CommCost gca::groupCost(const AnalysisContext &Ctx, const CommGroup &G,
     // Combined reductions carry one value per member (Section 6.2); the
     // combine runs log2(procs over the reduced dims) stages and the result
     // is replicated with a broadcast tree of the same depth.
-    double Values = static_cast<double>(G.Members.size() + G.Attached.size());
-    double Bytes = 8.0 * std::max(1.0, Values);
-    int ReduceProcs = NumProcs;
-    if (!G.Data.empty()) {
-      const ArrayDecl &Decl = Ctx.R.array(G.Data[0].ArrayId);
-      ProcGrid Grid = ProcGrid::forArray(Decl, NumProcs);
-      ReduceProcs = 1;
-      for (unsigned K = 0; K != G.M.ReduceDims.size() && K < Grid.rank(); ++K)
-        if (G.M.ReduceDims[K])
-          ReduceProcs *= Grid.dim(K).Procs;
-      ReduceProcs = std::max(1, ReduceProcs);
-    }
+    double Bytes = groupPayloadBytes(Ctx, G, NumProcs, Env);
+    int ReduceProcs = groupCollProcs(Ctx, G, NumProcs);
     double Stages =
         std::ceil(std::log2(std::max(2, ReduceProcs))) * 2.0; // Combine+bcast.
     C.Bytes = Bytes * Stages;
@@ -94,15 +135,7 @@ CommCost gca::groupCost(const AnalysisContext &Ctx, const CommGroup &G,
   }
 
   case CommKind::Bcast: {
-    double Bytes = 0;
-    for (const Asd &A : G.Data) {
-      const ArrayDecl &Decl = Ctx.R.array(A.ArrayId);
-      std::vector<DimRange> Sec = A.D.concretize(Env);
-      double Elems = 1;
-      for (const DimRange &R : Sec)
-        Elems *= static_cast<double>(std::max<int64_t>(0, R.count()));
-      Bytes += Elems * static_cast<double>(Decl.ElemBytes);
-    }
+    double Bytes = groupPayloadBytes(Ctx, G, NumProcs, Env);
     double Stages = std::ceil(std::log2(std::max(2, NumProcs)));
     C.Bytes = Bytes;
     C.Messages = Stages;
@@ -113,15 +146,7 @@ CommCost gca::groupCost(const AnalysisContext &Ctx, const CommGroup &G,
   case CommKind::General: {
     // Unstructured many-to-many: every processor exchanges with every
     // other; data splits evenly.
-    double Bytes = 0;
-    for (const Asd &A : G.Data) {
-      const ArrayDecl &Decl = Ctx.R.array(A.ArrayId);
-      std::vector<DimRange> Sec = A.D.concretize(Env);
-      double Elems = 1;
-      for (const DimRange &R : Sec)
-        Elems *= static_cast<double>(std::max<int64_t>(0, R.count()));
-      Bytes += Elems * static_cast<double>(Decl.ElemBytes);
-    }
+    double Bytes = groupPayloadBytes(Ctx, G, NumProcs, Env);
     double PerProc = Bytes / std::max(1, NumProcs);
     C.Bytes = PerProc * 2;
     C.Messages = NumProcs - 1;

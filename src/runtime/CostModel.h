@@ -38,6 +38,20 @@ CommCost groupCost(const AnalysisContext &Ctx, const CommGroup &G,
                    const MachineProfile &M, int NumProcs,
                    const std::vector<int64_t> &Env);
 
+/// The payload bytes \p G moves per firing under \p Env — the same numbers
+/// groupCost prices: per-processor slab bytes for shifts, 8 bytes per
+/// combined value for reductions, the full section volume for broadcasts
+/// and general patterns. This is the byte count the collective lowering
+/// layer selects algorithms for.
+double groupPayloadBytes(const AnalysisContext &Ctx, const CommGroup &G,
+                         int NumProcs, const std::vector<int64_t> &Env);
+
+/// Processors participating in \p G's collective: the product of grid
+/// extents over the reduced dimensions for reductions, \p NumProcs
+/// otherwise.
+int groupCollProcs(const AnalysisContext &Ctx, const CommGroup &G,
+                   int NumProcs);
+
 } // namespace gca
 
 #endif // GCA_RUNTIME_COSTMODEL_H

@@ -46,6 +46,13 @@ double MachineProfile::packTime(double Bytes) const {
   return Bytes / bcopyBandwidth(Bytes);
 }
 
+double MachineProfile::wireTime(double Bytes, int From, int To) const {
+  double T = Bytes <= 0 ? 0 : Bytes / netBandwidth(Bytes);
+  if (crossNode(From, To))
+    T = T * RemoteBandwidthFactor + RemoteLatency;
+  return T;
+}
+
 MachineProfile MachineProfile::sp2() {
   MachineProfile M;
   M.Name = "SP2";
@@ -76,4 +83,66 @@ MachineProfile MachineProfile::now() {
   M.BcopyDramPeak = 45e6;
   M.FlopTime = 28e-9; // SuperSPARC-class sustained.
   return M;
+}
+
+MachineProfile MachineProfile::fatTree() {
+  MachineProfile M;
+  M.Name = "FATTREE";
+  M.SendOverhead = 1.5e-6; // Kernel-bypass NICs: microsecond-class startup.
+  M.RecvOverhead = 1.5e-6;
+  M.PeakBandwidth = 11e9; // EDR-class link, receiver observed.
+  M.HalfSizeBytes = 64 * 1024;
+  M.InjectPeak = 12.5e9;
+  M.InjectHalf = 32 * 1024;
+  M.CacheBytes = 32ll * 1024 * 1024; // Shared LLC.
+  M.BcopyCachePeak = 25e9;
+  M.BcopyDramPeak = 10e9;
+  M.FlopTime = 0.5e-9;
+  M.RanksPerNode = 16;
+  M.RemoteLatency = 1.2e-6;       // Two switch hops up/down the tree.
+  M.RemoteBandwidthFactor = 1.25; // 4:5 oversubscription above the leaves.
+  return M;
+}
+
+MachineProfile MachineProfile::gpu() {
+  MachineProfile M;
+  M.Name = "GPU";
+  M.SendOverhead = 4e-6; // Launch/copy-engine setup per transfer.
+  M.RecvOverhead = 4e-6;
+  M.PeakBandwidth = 150e9; // NVLink-class intra-node fabric.
+  M.HalfSizeBytes = 256 * 1024;
+  M.InjectPeak = 180e9;
+  M.InjectHalf = 128 * 1024;
+  M.CacheBytes = 40ll * 1024 * 1024;
+  M.BcopyCachePeak = 200e9;
+  M.BcopyDramPeak = 60e9;
+  M.FlopTime = 5e-12;
+  M.RanksPerNode = 8;
+  M.RemoteLatency = 3e-6;      // NIC + switch traversal.
+  M.RemoteBandwidthFactor = 6; // ~25 GB/s IB vs 150 GB/s NVLink.
+  return M;
+}
+
+static std::string lowered(std::string_view Name) {
+  std::string S(Name);
+  std::transform(S.begin(), S.end(), S.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  return S;
+}
+
+std::optional<MachineProfile> MachineProfile::byName(std::string_view Name) {
+  std::string Key = lowered(Name);
+  if (Key == "sp2")
+    return sp2();
+  if (Key == "now")
+    return now();
+  if (Key == "fattree" || Key == "fat-tree")
+    return fatTree();
+  if (Key == "gpu")
+    return gpu();
+  return std::nullopt;
+}
+
+std::vector<std::string> MachineProfile::listProfiles() {
+  return {"sp2", "now", "fattree", "gpu"};
 }

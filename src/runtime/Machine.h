@@ -17,12 +17,21 @@
 /// beyond cache size on the SP2, and the SP2 having lower overhead and
 /// higher bandwidth than the NOW.
 ///
+/// Two post-paper profiles extend the set: a fat-tree commodity cluster and
+/// a GPU-era hierarchical machine. Both are hierarchical — RanksPerNode
+/// ranks share a node, and messages that cross a node boundary pay an extra
+/// latency plus a bandwidth derating — which is what makes locality-aware
+/// collective algorithms (runtime/Collective.h) worth selecting.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCA_RUNTIME_MACHINE_H
 #define GCA_RUNTIME_MACHINE_H
 
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace gca {
 
@@ -50,6 +59,15 @@ struct MachineProfile {
   // Computation.
   double FlopTime = 18e-9; ///< Seconds per (double) flop, sustained.
 
+  // Hierarchy: ranks 0..RanksPerNode-1 share node 0, the next block node 1,
+  // and so on. A flat machine (the paper's platforms) is RanksPerNode = 1
+  // with no remote penalty: every pair of ranks is equidistant.
+  int RanksPerNode = 1;
+  /// Extra one-way latency of a message crossing a node boundary (seconds).
+  double RemoteLatency = 0;
+  /// Wire-time multiplier for cross-node messages (>= 1; 1 = no derating).
+  double RemoteBandwidthFactor = 1.0;
+
   /// Receiver-observed network bandwidth for an \p S byte message.
   double netBandwidth(double S) const;
   /// Sender injection bandwidth for an \p S byte message.
@@ -65,10 +83,33 @@ struct MachineProfile {
   /// a buffer of the same size (charged on both ends).
   double packTime(double Bytes) const;
 
+  /// Node housing \p Rank under the RanksPerNode blocking.
+  int nodeOf(int Rank) const {
+    return RanksPerNode <= 1 ? Rank : Rank / RanksPerNode;
+  }
+  /// True when a message between \p A and \p B crosses a node boundary.
+  bool crossNode(int A, int B) const { return nodeOf(A) != nodeOf(B); }
+  /// Wire time of one \p Bytes message between \p From and \p To: the
+  /// saturating bandwidth curve, derated (and charged extra latency) when
+  /// the message leaves the node.
+  double wireTime(double Bytes, int From, int To) const;
+
   /// IBM SP2 with MPL (Stunkel et al. / Snir et al. as cited in the paper).
   static MachineProfile sp2();
   /// Berkeley NOW: SPARCstations on Myrinet with MPICH (Keeton et al.).
   static MachineProfile now();
+  /// A commodity fat-tree cluster (EDR-InfiniBand-class NICs, 16 ranks per
+  /// node, mild oversubscription above the leaf switches).
+  static MachineProfile fatTree();
+  /// A GPU-era hierarchical machine: very fast intra-node fabric
+  /// (NVLink-class), much slower inter-node network, 8 ranks per node.
+  static MachineProfile gpu();
+
+  /// The profile registered under \p Name (case-insensitive: "sp2", "now",
+  /// "fattree"/"fat-tree", "gpu"); nullopt for unknown names.
+  static std::optional<MachineProfile> byName(std::string_view Name);
+  /// The canonical registry names byName accepts, in registry order.
+  static std::vector<std::string> listProfiles();
 };
 
 } // namespace gca

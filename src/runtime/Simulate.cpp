@@ -19,8 +19,8 @@ namespace {
 class Simulator {
 public:
   Simulator(const AnalysisContext &Ctx, const CommPlan &Plan,
-            const MachineProfile &M, int NumProcs)
-      : Ctx(Ctx), Plan(Plan), M(M), NumProcs(NumProcs),
+            const MachineProfile &M, int NumProcs, const PlanLowering *L)
+      : Ctx(Ctx), Plan(Plan), M(M), NumProcs(NumProcs), L(L),
         Env(Ctx.R.loopVarNames().size(), 0) {}
 
   SimResult run(const ExecProgram &Prog) {
@@ -57,7 +57,12 @@ private:
     SimResult R;
     switch (A.K) {
     case ExecAction::Kind::Comm: {
-      CommCost C = groupCost(Ctx, Plan.Groups[A.GroupId], M, NumProcs, Env);
+      const CommGroup &G = Plan.Groups[A.GroupId];
+      if (L && G.Kind != CommKind::Local)
+        if (const GroupLowering *GL = L->group(A.GroupId))
+          if (GL->GroupId == A.GroupId)
+            return costLowered(G, *GL);
+      CommCost C = groupCost(Ctx, G, M, NumProcs, Env);
       R.CommTime = C.Time;
       R.TotalTime = C.Time;
       R.CommBytes = C.Bytes;
@@ -123,10 +128,42 @@ private:
     return R;
   }
 
+  /// Fires \p G through its lowering: the frozen algorithm's round schedule
+  /// re-costed at the concrete (Env-dependent) payload sizes. Fused exchange
+  /// members contribute their bytes but the whole phase's time is charged
+  /// once, on the phase lead.
+  SimResult costLowered(const CommGroup &G, const GroupLowering &GL) {
+    SimResult R;
+    double Bytes = groupPayloadBytes(Ctx, G, NumProcs, Env);
+    R.CommBytes = Bytes;
+    if (GL.Phase >= 0) {
+      if (!GL.PhaseLead)
+        return R;
+      const LoweringPhase &Ph = L->Phases[static_cast<size_t>(GL.Phase)];
+      std::vector<double> DirBytes;
+      for (int GId : Ph.GroupIds)
+        DirBytes.push_back(groupPayloadBytes(
+            Ctx, Plan.Groups[static_cast<size_t>(GId)], NumProcs, Env));
+      CollSchedule S = exchangeSchedule(GL.Procs, DirBytes, Ph.Algo);
+      CollCost C = scheduleTime(S, M, collOpPacked(S.Op));
+      R.CommTime = C.Time;
+      R.TotalTime = C.Time;
+      R.CommOps = 1;
+      return R;
+    }
+    CollSchedule S = loweredSchedule(GL, M, Bytes);
+    CollCost C = scheduleTime(S, M, collOpPacked(GL.Op));
+    R.CommTime = C.Time;
+    R.TotalTime = C.Time;
+    R.CommOps = 1;
+    return R;
+  }
+
   const AnalysisContext &Ctx;
   const CommPlan &Plan;
   const MachineProfile &M;
   int NumProcs;
+  const PlanLowering *L;
   std::vector<int64_t> Env;
 };
 
@@ -135,5 +172,11 @@ private:
 SimResult gca::simulate(const AnalysisContext &Ctx, const CommPlan &Plan,
                         const ExecProgram &Prog, const MachineProfile &M,
                         int NumProcs) {
-  return Simulator(Ctx, Plan, M, NumProcs).run(Prog);
+  return Simulator(Ctx, Plan, M, NumProcs, nullptr).run(Prog);
+}
+
+SimResult gca::simulate(const AnalysisContext &Ctx, const CommPlan &Plan,
+                        const ExecProgram &Prog, const MachineProfile &M,
+                        int NumProcs, const PlanLowering *L) {
+  return Simulator(Ctx, Plan, M, NumProcs, L).run(Prog);
 }

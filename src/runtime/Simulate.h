@@ -18,6 +18,7 @@
 #ifndef GCA_RUNTIME_SIMULATE_H
 #define GCA_RUNTIME_SIMULATE_H
 
+#include "lower/Lower.h"
 #include "lower/Schedule.h"
 #include "runtime/Machine.h"
 
@@ -39,6 +40,15 @@ struct SimResult {
 SimResult simulate(const AnalysisContext &Ctx, const CommPlan &Plan,
                    const ExecProgram &Prog, const MachineProfile &M,
                    int NumProcs);
+
+/// Simulates with the collective lowering \p L applied: every group fires
+/// its selected round schedule (re-costed at the concrete per-firing sizes;
+/// the algorithm choice stays frozen) instead of the monolithic pattern
+/// cost, and fused exchange phases post all their directions in one round
+/// set, charged once on the phase lead. Null \p L is the overload above.
+SimResult simulate(const AnalysisContext &Ctx, const CommPlan &Plan,
+                   const ExecProgram &Prog, const MachineProfile &M,
+                   int NumProcs, const PlanLowering *L);
 
 } // namespace gca
 

@@ -97,7 +97,8 @@ TEST(Pipeline, PassRecordsCoverStandardPipeline) {
     Names.push_back(P.Name);
   EXPECT_EQ(Names, (std::vector<std::string>{"parse", "scalarize", "fuse",
                                              "build-context", "placement",
-                                             "audit", "verify", "lint"}));
+                                             "lower", "audit", "verify",
+                                             "lint"}));
   // Counter increments are attributed to the pass that made them.
   for (const PassRecord &P : S.Passes) {
     if (P.Name == "placement")
@@ -107,7 +108,7 @@ TEST(Pipeline, PassRecordsCoverStandardPipeline) {
   }
   TimeRecord Total = S.Times.total();
   EXPECT_GT(Total.WallSec, 0.0);
-  EXPECT_EQ(Total.Invocations, 8);
+  EXPECT_EQ(Total.Invocations, 9);
 }
 
 TEST(Pipeline, DumpAfterRecordsSnapshot) {
@@ -125,7 +126,7 @@ TEST(Pipeline, DumpAfterRecordsSnapshot) {
   All.DumpAfter = "all";
   Session S2(figure3FusedWorkload().Source, All);
   ASSERT_TRUE(S2.run());
-  EXPECT_EQ(S2.Dumps.size(), 8u);
+  EXPECT_EQ(S2.Dumps.size(), 9u);
   // After placement the dump carries the plan.
   EXPECT_NE(S2.Dumps[4].second.find("plan["), std::string::npos);
 }
